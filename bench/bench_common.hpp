@@ -1,0 +1,24 @@
+// Shared output helpers for the experiment harness. Every bench binary
+// regenerates one experiment from DESIGN.md's index and prints a banner,
+// the paper's claim, and a result table, so `for b in build/bench/*; do $b;
+// done` produces a full, self-describing reproduction report.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace colex::bench {
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n" << std::string(78, '=') << "\n";
+  std::cout << experiment << "\n";
+  std::cout << "paper claim: " << claim << "\n";
+  std::cout << std::string(78, '=') << "\n\n";
+}
+
+inline void verdict(bool ok, const std::string& text) {
+  std::cout << "\n[" << (ok ? "REPRODUCED" : "MISMATCH") << "] " << text
+            << "\n";
+}
+
+}  // namespace colex::bench

@@ -1,0 +1,111 @@
+// E10 — Simulator micro-benchmarks (google-benchmark): raw event
+// throughput of the discrete-event substrate for the content-oblivious
+// algorithms, the token bus, and the content-carrying baselines.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/baselines.hpp"
+#include "co/election.hpp"
+#include "colib/apps.hpp"
+#include "colib/composed.hpp"
+#include "sim/scheduler.hpp"
+#include "util/ids.hpp"
+
+namespace {
+
+using namespace colex;
+
+void BM_Alg2Election(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = util::shuffled(util::dense_ids(n), 7);
+  std::uint64_t pulses = 0;
+  for (auto _ : state) {
+    sim::GlobalFifoScheduler sched;
+    const auto result = co::elect_oriented_terminating(ids, sched);
+    pulses = result.pulses;
+    benchmark::DoNotOptimize(result.leader);
+  }
+  state.counters["pulses"] = static_cast<double>(pulses);
+  state.counters["pulses/s"] = benchmark::Counter(
+      static_cast<double>(pulses) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Alg2Election)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Alg1Stabilization(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = util::shuffled(util::dense_ids(n), 7);
+  for (auto _ : state) {
+    sim::GlobalFifoScheduler sched;
+    const auto result = co::elect_oriented_stabilizing(ids, sched);
+    benchmark::DoNotOptimize(result.pulses);
+  }
+}
+BENCHMARK(BM_Alg1Stabilization)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Alg3NonOriented(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = util::shuffled(util::dense_ids(n), 7);
+  const auto flips = util::random_flips(n, 3);
+  for (auto _ : state) {
+    sim::GlobalFifoScheduler sched;
+    co::Alg3NonOriented::Options options;
+    const auto result = co::elect_and_orient(ids, flips, options, sched);
+    benchmark::DoNotOptimize(result.pulses);
+  }
+}
+BENCHMARK(BM_Alg3NonOriented)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RandomSchedulerElection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = util::shuffled(util::dense_ids(n), 7);
+  for (auto _ : state) {
+    sim::RandomScheduler sched(11);
+    const auto result = co::elect_oriented_terminating(ids, sched);
+    benchmark::DoNotOptimize(result.pulses);
+  }
+}
+BENCHMARK(BM_RandomSchedulerElection)->Arg(64)->Arg(256);
+
+void BM_ComposedGatherAll(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = util::shuffled(util::dense_ids(n), 7);
+  for (auto _ : state) {
+    sim::GlobalFifoScheduler sched;
+    const auto result = colib::run_composed(
+        ids,
+        [](sim::NodeId v) {
+          return std::make_unique<colib::GatherAllApp>(v + 1);
+        },
+        sched);
+    benchmark::DoNotOptimize(result.total_pulses);
+  }
+}
+BENCHMARK(BM_ComposedGatherAll)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BaselineHirschbergSinclair(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = util::shuffled(util::dense_ids(n), 7);
+  for (auto _ : state) {
+    sim::GlobalFifoScheduler sched;
+    const auto result = baselines::hirschberg_sinclair(ids, sched);
+    benchmark::DoNotOptimize(result.messages);
+  }
+}
+BENCHMARK(BM_BaselineHirschbergSinclair)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BaselineChangRoberts(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = util::shuffled(util::dense_ids(n), 7);
+  for (auto _ : state) {
+    sim::GlobalFifoScheduler sched;
+    const auto result = baselines::chang_roberts(ids, sched);
+    benchmark::DoNotOptimize(result.messages);
+  }
+}
+BENCHMARK(BM_BaselineChangRoberts)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

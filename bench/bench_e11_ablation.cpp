@@ -1,0 +1,148 @@
+// E11 — Ablations of two design choices called out in DESIGN.md:
+//
+//  (A) Section 1.1's replication alternative to quiescent termination:
+//      running Algorithm 2 in (r+1)-copy mode costs exactly (r+1) times
+//      n(2*IDmax+1) pulses — the "undesired r-fold increase" the paper
+//      avoids by making termination quiescent.
+//
+//  (B) The token bus's post-PASS "go" pulse: without it, the new token
+//      holder can emit a counterclockwise bit that overtakes the still-
+//      circulating pass bit, desynchronizing the shared frame decoders.
+//      With the go pulse the bus is correct under every adversary; without
+//      it, executions corrupt (wrong results, stalls, or internal contract
+//      violations) under most schedulers.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "co/alg2.hpp"
+#include "co/election.hpp"
+#include "co/replicated.hpp"
+#include "colib/apps.hpp"
+#include "sim/network.hpp"
+#include "util/contracts.hpp"
+#include "util/ids.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace colex;
+
+/// Outcome classification for one bus run.
+enum class BusOutcome { correct, corrupted, stalled, violated };
+
+BusOutcome run_gather_bus(const std::vector<std::uint64_t>& inputs,
+                          sim::Scheduler& sched, bool skip_go) {
+  auto net = sim::PulseNetwork::ring(inputs.size());
+  colib::BusOptions options;
+  options.unsafe_skip_go = skip_go;
+  for (sim::NodeId v = 0; v < inputs.size(); ++v) {
+    net.set_automaton(
+        v, std::make_unique<colib::BusNode>(
+               std::make_unique<colib::GatherAllApp>(inputs[v]), v == 0,
+               options));
+  }
+  sim::RunOptions opts;
+  opts.max_events = 2'000'000;
+  try {
+    const auto report = net.run(sched, opts);
+    if (!report.all_terminated || report.hit_event_limit ||
+        !report.quiescent) {
+      return BusOutcome::stalled;
+    }
+    std::uint64_t expected_sum = 0;
+    for (const auto input : inputs) expected_sum += input;
+    for (sim::NodeId v = 0; v < inputs.size(); ++v) {
+      const auto& app = dynamic_cast<const colib::GatherAllApp&>(
+          net.automaton_as<colib::BusNode>(v).app());
+      if (!app.complete() || app.sum() != expected_sum) {
+        return BusOutcome::corrupted;
+      }
+    }
+    return BusOutcome::correct;
+  } catch (const util::ContractViolation&) {
+    return BusOutcome::violated;
+  }
+}
+
+const char* to_string(BusOutcome o) {
+  switch (o) {
+    case BusOutcome::correct: return "correct";
+    case BusOutcome::corrupted: return "CORRUPTED";
+    case BusOutcome::stalled: return "STALLED";
+    case BusOutcome::violated: return "VIOLATED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E11  Ablations: replication overhead and the bus go-pulse "
+      "(bench_e11_ablation)",
+      "(A) composing without quiescent termination costs an (r+1)-fold "
+      "pulse blow-up (paper Section 1.1); (B) dropping the bus's "
+      "serialization go-pulse corrupts executions under adversarial "
+      "schedules");
+
+  // --- Part A: replication overhead -----------------------------------
+  std::cout << "Part A: Section 1.1 replication overhead (Algorithm 2, "
+               "n = 12, IDmax = 12)\n";
+  const auto ids = util::shuffled(util::dense_ids(12), 5);
+  const std::uint64_t base = co::theorem1_pulses(12, 12);
+  util::Table part_a({"r", "copies per pulse", "pulses", "(r+1)*base",
+                      "exact", "election ok"});
+  bool part_a_ok = true;
+  for (const unsigned r : {0u, 1u, 2u, 3u, 4u}) {
+    auto net = sim::PulseNetwork::ring(ids.size());
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      net.set_automaton(v, std::make_unique<co::ReplicatedAdapter>(
+                               std::make_unique<co::Alg2Terminating>(ids[v]),
+                               r));
+    }
+    sim::RandomScheduler sched(r + 1);
+    const auto report = net.run(sched);
+    std::size_t leaders = 0;
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      const auto& alg = net.automaton_as<co::ReplicatedAdapter>(v)
+                            .inner_as<co::Alg2Terminating>();
+      if (alg.role() == co::Role::leader) ++leaders;
+    }
+    const bool exact = report.sent == (r + 1) * base;
+    const bool ok = report.all_terminated && leaders == 1;
+    part_a_ok = part_a_ok && exact && ok;
+    part_a.add_row({util::Table::num(std::uint64_t{r}),
+                    util::Table::num(std::uint64_t{r} + 1),
+                    util::Table::num(report.sent),
+                    util::Table::num((r + 1) * base), exact ? "yes" : "NO",
+                    ok ? "yes" : "NO"});
+  }
+  part_a.print(std::cout);
+
+  // --- Part B: go-pulse ablation ---------------------------------------
+  std::cout << "\nPart B: token-bus PASS handover with and without the "
+               "go pulse (gather-all, n = 6)\n";
+  const std::vector<std::uint64_t> inputs{3, 14, 7, 1, 9, 5};
+  util::Table part_b({"scheduler", "with go pulse", "without go pulse"});
+  bool safe_always_ok = true;
+  int unsafe_failures = 0, unsafe_runs = 0;
+  for (auto& named : sim::standard_schedulers(5)) {
+    const auto safe = run_gather_bus(inputs, *named.scheduler, false);
+    named.scheduler->reset();
+    const auto unsafe = run_gather_bus(inputs, *named.scheduler, true);
+    safe_always_ok = safe_always_ok && safe == BusOutcome::correct;
+    ++unsafe_runs;
+    if (unsafe != BusOutcome::correct) ++unsafe_failures;
+    part_b.add_row({named.name, to_string(safe), to_string(unsafe)});
+  }
+  part_b.print(std::cout);
+  std::cout << "\nwithout the go pulse, " << unsafe_failures << "/"
+            << unsafe_runs << " adversaries corrupt the run\n";
+
+  const bool all_ok = part_a_ok && safe_always_ok && unsafe_failures > 0;
+  bench::verdict(all_ok,
+                 "replication costs exactly (r+1)x, and the go-pulse "
+                 "serialization is load-bearing");
+  return all_ok ? 0 : 1;
+}

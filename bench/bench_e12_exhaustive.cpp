@@ -1,0 +1,157 @@
+// E12 — Exhaustive adversary enumeration: for small rings, EVERY possible
+// asynchronous delivery order is explored (model checking, not sampling),
+// and on every complete execution the paper's claims hold: unique max-ID
+// leader, exact pulse formula, quiescent termination (Alg 2) /
+// stabilization (Alg 1/3), consistent orientation (Alg 3).
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "co/alg1.hpp"
+#include "co/alg2.hpp"
+#include "co/alg3.hpp"
+#include "co/election.hpp"
+#include "sim/explore.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace colex;
+
+struct Row {
+  std::string config;
+  sim::ExploreStats stats;
+  std::uint64_t violations = 0;
+};
+
+Row explore_alg2(const std::vector<std::uint64_t>& ids) {
+  std::uint64_t id_max = 0;
+  for (const auto id : ids) id_max = std::max(id_max, id);
+  Row row;
+  row.config = "alg2 n=" + std::to_string(ids.size());
+  row.stats = sim::explore_all_schedules(
+      [&ids] {
+        auto net = sim::PulseNetwork::ring(ids.size());
+        for (sim::NodeId v = 0; v < ids.size(); ++v) {
+          net.set_automaton(v, std::make_unique<co::Alg2Terminating>(ids[v]));
+        }
+        return net;
+      },
+      [&](sim::PulseNetwork& net) {
+        std::size_t leaders = 0;
+        bool ok = net.total_sent() ==
+                  co::theorem1_pulses(ids.size(), id_max);
+        for (sim::NodeId v = 0; v < ids.size(); ++v) {
+          const auto& alg = net.automaton_as<co::Alg2Terminating>(v);
+          ok = ok && alg.terminated();
+          if (alg.role() == co::Role::leader) {
+            ++leaders;
+            ok = ok && alg.id() == id_max;
+          }
+        }
+        if (!ok || leaders != 1) ++row.violations;
+      },
+      8'000'000);
+  return row;
+}
+
+Row explore_alg1(const std::vector<std::uint64_t>& ids) {
+  std::uint64_t id_max = 0;
+  for (const auto id : ids) id_max = std::max(id_max, id);
+  Row row;
+  row.config = "alg1 n=" + std::to_string(ids.size());
+  row.stats = sim::explore_all_schedules(
+      [&ids] {
+        auto net = sim::PulseNetwork::ring(ids.size());
+        for (sim::NodeId v = 0; v < ids.size(); ++v) {
+          net.set_automaton(v,
+                            std::make_unique<co::Alg1Stabilizing>(ids[v]));
+        }
+        return net;
+      },
+      [&](sim::PulseNetwork& net) {
+        bool ok = net.total_sent() == ids.size() * id_max;
+        for (sim::NodeId v = 0; v < ids.size(); ++v) {
+          const auto& alg = net.automaton_as<co::Alg1Stabilizing>(v);
+          ok = ok && (alg.role() == co::Role::leader) == (ids[v] == id_max);
+          ok = ok && alg.counters().rho_cw == id_max;
+        }
+        if (!ok) ++row.violations;
+      },
+      8'000'000);
+  return row;
+}
+
+Row explore_alg3(const std::vector<std::uint64_t>& ids,
+                 const std::vector<bool>& flips) {
+  std::uint64_t id_max = 0;
+  for (const auto id : ids) id_max = std::max(id_max, id);
+  Row row;
+  row.config = "alg3 n=" + std::to_string(ids.size()) + " scrambled";
+  row.stats = sim::explore_all_schedules(
+      [&] {
+        auto net = sim::PulseNetwork::ring(ids.size(), flips);
+        for (sim::NodeId v = 0; v < ids.size(); ++v) {
+          co::Alg3NonOriented::Options options;
+          net.set_automaton(
+              v, std::make_unique<co::Alg3NonOriented>(ids[v], options));
+        }
+        return net;
+      },
+      [&](sim::PulseNetwork& net) {
+        bool ok = net.total_sent() ==
+                  co::theorem1_pulses(ids.size(), id_max);
+        std::size_t leaders = 0, physically_cw = 0;
+        for (sim::NodeId v = 0; v < ids.size(); ++v) {
+          const auto& alg = net.automaton_as<co::Alg3NonOriented>(v);
+          if (alg.role() == co::Role::leader) {
+            ++leaders;
+            ok = ok && alg.initial_id() == id_max;
+          }
+          if (alg.cw_port() == co::physical_cw_port(flips, v)) {
+            ++physically_cw;
+          }
+        }
+        ok = ok && leaders == 1 &&
+             (physically_cw == 0 || physically_cw == ids.size());
+        if (!ok) ++row.violations;
+      },
+      8'000'000);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E12  Exhaustive schedule enumeration (bench_e12_exhaustive)",
+      "the theorems hold on EVERY asynchronous delivery order, not just "
+      "sampled ones — verified by enumerating the adversary's full choice "
+      "tree for small rings");
+
+  std::vector<Row> rows;
+  rows.push_back(explore_alg2({3}));
+  rows.push_back(explore_alg2({1, 2}));
+  rows.push_back(explore_alg2({4, 2}));
+  rows.push_back(explore_alg2({2, 3, 1}));
+  rows.push_back(explore_alg1({2, 3, 1}));
+  rows.push_back(explore_alg1({4, 2, 3}));
+  rows.push_back(explore_alg3({2, 3}, {true, false}));
+  rows.push_back(explore_alg3({3, 1}, {false, false}));
+
+  util::Table table({"configuration", "distinct schedules", "max depth",
+                     "exhaustive", "violations"});
+  bool all_ok = true;
+  for (const auto& row : rows) {
+    all_ok = all_ok && row.stats.exhaustive() && row.violations == 0;
+    table.add_row({row.config, util::Table::num(row.stats.leaves),
+                   util::Table::num(row.stats.max_depth),
+                   row.stats.exhaustive() ? "yes" : "NO",
+                   util::Table::num(row.violations)});
+  }
+  table.print(std::cout);
+  bench::verdict(all_ok,
+                 "every enumerated schedule elects the max-ID node with the "
+                 "exact pulse formula");
+  return all_ok ? 0 : 1;
+}

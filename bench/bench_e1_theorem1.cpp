@@ -1,0 +1,74 @@
+// E1 — Theorem 1: Algorithm 2 elects the max-ID node on oriented rings with
+// quiescent termination and EXACTLY n(2*IDmax + 1) pulses, for every ring
+// size, ID pattern, and adversarial schedule.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "co/election.hpp"
+#include "sim/scheduler.hpp"
+#include "util/ids.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace colex;
+  bench::banner(
+      "E1  Theorem 1: quiescently terminating leader election "
+      "(bench_e1_theorem1)",
+      "message complexity is exactly n(2*IDmax+1); the max-ID node wins; "
+      "termination is quiescent under every adversary");
+
+  struct Pattern {
+    const char* name;
+    std::vector<std::uint64_t> ids;
+  };
+
+  util::Table table({"n", "IDmax", "pattern", "schedulers", "pulses",
+                     "n(2*IDmax+1)", "exact", "quiescent+terminated"});
+  bool all_ok = true;
+
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    std::vector<Pattern> patterns;
+    patterns.push_back({"dense-shuffled",
+                        util::shuffled(util::dense_ids(n), n * 7 + 1)});
+    patterns.push_back({"sparse-16x", util::sparse_ids(n, 16 * n, n + 3)});
+    // Descending along the ring: worst case for Chang-Roberts; Theorem 1's
+    // cost must not care.
+    std::vector<std::uint64_t> desc(n);
+    for (std::size_t v = 0; v < n; ++v) desc[v] = n - v;
+    patterns.push_back({"descending", std::move(desc)});
+
+    for (auto& pattern : patterns) {
+      std::uint64_t id_max = 0;
+      for (const auto id : pattern.ids) id_max = std::max(id_max, id);
+      const std::uint64_t formula = co::theorem1_pulses(n, id_max);
+
+      // Large rings get fewer schedulers to keep runtime sane.
+      const std::size_t randoms = n <= 64 ? 3 : 1;
+      auto schedulers = sim::standard_schedulers(randoms);
+      bool exact = true, clean = true;
+      std::uint64_t measured = 0;
+      for (auto& named : schedulers) {
+        const auto result =
+            co::elect_oriented_terminating(pattern.ids, *named.scheduler);
+        measured = result.pulses;
+        exact = exact && result.pulses == formula &&
+                result.valid_election() &&
+                pattern.ids[*result.leader] == id_max;
+        clean = clean && result.quiescent && result.all_terminated &&
+                result.report.deliveries_to_terminated == 0;
+      }
+      all_ok = all_ok && exact && clean;
+      table.add_row({util::Table::num(static_cast<std::uint64_t>(n)),
+                     util::Table::num(id_max), pattern.name,
+                     util::Table::num(
+                         static_cast<std::uint64_t>(schedulers.size())),
+                     util::Table::num(measured), util::Table::num(formula),
+                     exact ? "yes" : "NO", clean ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  bench::verdict(all_ok,
+                 "pulse counts match n(2*IDmax+1) exactly in every "
+                 "configuration and under every scheduler");
+  return all_ok ? 0 : 1;
+}

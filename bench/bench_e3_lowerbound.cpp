@@ -1,0 +1,95 @@
+// E3 — Theorem 4 / Theorem 20 (lower bound): any terminating
+// content-oblivious leader election sends at least n*floor(log2(k/n))
+// pulses when k IDs are assignable. Reproduced constructively:
+//  (a) Lemma 22 — solitude patterns of Algorithm 2 are pairwise distinct;
+//  (b) Corollary 24 — among k patterns, n share a prefix >= floor(log2(k/n));
+//  (c) Theorem 20 — placing those n IDs on a ring under the Definition 21
+//      scheduler forces every node to replay its solitude prefix, costing at
+//      least n*floor(log2(k/n)) pulses before any behavioral divergence;
+//  (d) Theorem 1's upper bound always dominates the lower bound.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "co/alg2.hpp"
+#include "co/election.hpp"
+#include "lb/solitude.hpp"
+#include "sim/network.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace colex;
+  bench::banner(
+      "E3  Theorem 4 lower bound via solitude patterns (bench_e3_lowerbound)",
+      "every terminating content-oblivious election sends >= "
+      "n*floor(log2(k/n)) pulses; each ID's solitude pattern is unique");
+
+  const lb::AutomatonFactory factory =
+      [](std::uint64_t id) -> std::unique_ptr<sim::PulseAutomaton> {
+    return std::make_unique<co::Alg2Terminating>(id);
+  };
+
+  // (a) Lemma 22 at scale.
+  const std::uint64_t kMaxId = 2048;
+  const auto patterns = lb::solitude_patterns(factory, 1, kMaxId);
+  const bool unique = lb::all_patterns_distinct(patterns);
+  std::cout << "Lemma 22: " << kMaxId
+            << " solitude patterns extracted; pairwise distinct: "
+            << (unique ? "yes" : "NO") << "\n\n";
+
+  util::Table table({"n", "k (IDs)", "bound n*floor(log2(k/n))",
+                     "shared prefix s", "forced pulses n*s",
+                     "replay matched", "algorithm pulses n(2*IDmax+1)"});
+  bool all_ok = unique;
+
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+    for (const std::uint64_t k : {64ull, 256ull, 1024ull, 2048ull}) {
+      if (k < n) continue;
+      const std::uint64_t bound = co::theorem4_lower_bound(n, k);
+      std::vector<lb::SolitudePattern> pool(patterns.begin(),
+                                            patterns.begin() +
+                                                static_cast<std::ptrdiff_t>(k));
+      const auto group = lb::best_prefix_group(pool, n);
+      const std::size_t s = group.prefix_length;
+      const bool prefix_ok = n * s >= bound;
+
+      // (c) Run the n chosen IDs on a real ring under the Definition 21
+      // scheduler and verify each node replays its solitude prefix.
+      auto net = sim::PulseNetwork::ring(n);
+      std::uint64_t id_max = 0;
+      for (sim::NodeId v = 0; v < n; ++v) {
+        net.set_automaton(
+            v, std::make_unique<co::Alg2Terminating>(group.ids[v]));
+        id_max = std::max(id_max, group.ids[v]);
+      }
+      std::vector<std::string> observed(n);
+      sim::RunOptions opts;
+      opts.on_deliver = [&observed](sim::NodeId v, sim::Port,
+                                    sim::Direction d) {
+        observed[v].push_back(d == sim::Direction::cw ? '0' : '1');
+      };
+      sim::SolitudeScheduler sched;
+      const auto report = net.run(sched, opts);
+      bool replay = report.quiescent;
+      for (sim::NodeId v = 0; v < n && replay; ++v) {
+        const auto& full = patterns[group.ids[v] - 1].bits;
+        replay = observed[v].size() >= s &&
+                 observed[v].substr(0, s) == full.substr(0, s);
+      }
+      const bool dominates = co::theorem1_pulses(n, id_max) >= bound &&
+                             report.sent >= bound;
+      all_ok = all_ok && prefix_ok && replay && dominates;
+
+      table.add_row({util::Table::num(static_cast<std::uint64_t>(n)),
+                     util::Table::num(k), util::Table::num(bound),
+                     util::Table::num(static_cast<std::uint64_t>(s)),
+                     util::Table::num(n * s), replay ? "yes" : "NO",
+                     util::Table::num(co::theorem1_pulses(n, id_max))});
+    }
+  }
+  table.print(std::cout);
+  bench::verdict(all_ok,
+                 "shared solitude prefixes force >= n*floor(log2(k/n)) "
+                 "pulses; Theorem 1's cost dominates the bound everywhere");
+  return all_ok ? 0 : 1;
+}

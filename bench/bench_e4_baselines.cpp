@@ -1,0 +1,104 @@
+// E4 — §1.2 context: the price of content obliviousness. Classical
+// content-carrying elections use O(n log n)..O(n^2) messages independent of
+// ID magnitude; the content-oblivious algorithms are Theta(n * IDmax) and
+// cannot do better (Theorem 4). Two regimes make the contrast sharp:
+// dense IDs (IDmax = n, CO costs ~2n^2, comparable to LeLann) and sparse
+// IDs (IDmax = 16n, CO costs 32n^2 while the classical counts are
+// unchanged — the ID-magnitude dependence is the novelty of this model).
+#include <cmath>
+#include <iostream>
+
+#include "baselines/baselines.hpp"
+#include "bench_common.hpp"
+#include "co/election.hpp"
+#include "sim/scheduler.hpp"
+#include "util/ids.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace colex;
+  bench::banner(
+      "E4  Content-oblivious vs classical message complexity "
+      "(bench_e4_baselines)",
+      "classical: LeLann O(n^2), Chang-Roberts O(n^2)/O(n log n), "
+      "HS/Peterson/Franklin O(n log n), all independent of IDmax; "
+      "content-oblivious: Theta(n*IDmax) pulses (Theorems 1 and 4)");
+
+  util::Table table({"n", "regime", "IDmax", "co-alg2 (pulses)", "lelann",
+                     "chang-roberts", "hirschberg-sinclair", "peterson",
+                     "franklin", "co/HS ratio"});
+  bool all_ok = true;
+
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    struct Regime {
+      const char* name;
+      std::vector<std::uint64_t> ids;
+    };
+    std::vector<Regime> regimes;
+    regimes.push_back({"dense (IDmax=n)",
+                       util::shuffled(util::dense_ids(n), n + 5)});
+    regimes.push_back({"sparse (IDmax~16n)",
+                       util::sparse_ids(n, 16 * n, 2 * n + 1)});
+
+    for (auto& regime : regimes) {
+      std::uint64_t id_max = 0;
+      for (const auto id : regime.ids) id_max = std::max(id_max, id);
+
+      sim::GlobalFifoScheduler s0, s1, s2, s3, s4, s5;
+      const auto co_result =
+          co::elect_oriented_terminating(regime.ids, s0);
+      const auto le = baselines::lelann(regime.ids, s1);
+      const auto cr = baselines::chang_roberts(regime.ids, s2);
+      const auto hs = baselines::hirschberg_sinclair(regime.ids, s3);
+      const auto pe = baselines::peterson(regime.ids, s4);
+      const auto fr = baselines::franklin(regime.ids, s5);
+      const bool ok = co_result.valid_election() && le.ok && cr.ok &&
+                      hs.ok && pe.ok && fr.ok;
+      all_ok = all_ok && ok;
+
+      table.add_row(
+          {util::Table::num(static_cast<std::uint64_t>(n)), regime.name,
+           util::Table::num(id_max), util::Table::num(co_result.pulses),
+           util::Table::num(le.messages), util::Table::num(cr.messages),
+           util::Table::num(hs.messages), util::Table::num(pe.messages),
+           util::Table::num(fr.messages),
+           util::Table::fixed(static_cast<double>(co_result.pulses) /
+                                  static_cast<double>(hs.messages),
+                              1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks (who wins, where the gap grows):\n";
+  // With dense IDs and large n, CO ~ 2n^2 sits near LeLann's n^2 and far
+  // above the O(n log n) algorithms; the sparse regime multiplies only the
+  // CO column. Verify both trends at n = 128.
+  const std::size_t n = 128;
+  const auto dense = util::shuffled(util::dense_ids(n), 7);
+  const auto sparse = util::sparse_ids(n, 16 * n, 11);
+  sim::GlobalFifoScheduler t0, t1, t2, t3;
+  const auto co_dense = co::elect_oriented_terminating(dense, t0);
+  const auto co_sparse = co::elect_oriented_terminating(sparse, t1);
+  const auto hs_dense = baselines::hirschberg_sinclair(dense, t2);
+  const auto hs_sparse = baselines::hirschberg_sinclair(sparse, t3);
+  const bool co_pays_for_ids = co_sparse.pulses > 8 * co_dense.pulses;
+  const bool classical_does_not =
+      hs_sparse.messages < 2 * hs_dense.messages;
+  const bool log_beats_co =
+      hs_dense.messages < co_dense.pulses / 4;
+  std::cout << "  CO pulses grow ~16x from dense to sparse IDs: "
+            << (co_pays_for_ids ? "yes" : "NO") << " ("
+            << co_dense.pulses << " -> " << co_sparse.pulses << ")\n";
+  std::cout << "  HS messages insensitive to ID magnitude:      "
+            << (classical_does_not ? "yes" : "NO") << " ("
+            << hs_dense.messages << " -> " << hs_sparse.messages << ")\n";
+  std::cout << "  O(n log n) baseline beats CO at n=128:        "
+            << (log_beats_co ? "yes" : "NO") << "\n";
+  all_ok = all_ok && co_pays_for_ids && classical_does_not && log_beats_co;
+
+  bench::verdict(all_ok,
+                 "content obliviousness costs Theta(n*IDmax): the gap to "
+                 "classical algorithms scales with ID magnitude, exactly "
+                 "as Theorems 1 and 4 predict");
+  return all_ok ? 0 : 1;
+}

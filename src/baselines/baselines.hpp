@@ -1,0 +1,71 @@
+// Classical leader-election baselines on asynchronous rings with reliable,
+// content-carrying channels (paper §1.2 related work). All algorithms
+// terminate with every node knowing the leader's ID (a final announcement
+// circulation is appended where the textbook algorithm only informs the
+// winner itself).
+//
+// Unlike the content-oblivious algorithms, terminated baseline nodes may
+// still receive stray messages (e.g. Hirschberg-Sinclair probes that were in
+// flight behind the announcement). With content-carrying messages this is
+// harmless — a tagged message can be recognized and discarded — which is
+// precisely the composability luxury the fully defective model lacks
+// (paper §1.1). `BaselineResult::late_deliveries` exposes the count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/msg.hpp"
+#include "sim/scheduler.hpp"
+
+namespace colex::baselines {
+
+struct BaselineResult {
+  /// True iff exactly one node self-identified as leader and every node
+  /// agrees on that leader's ID.
+  bool ok = false;
+  std::optional<sim::NodeId> leader;  ///< ring index of the winner
+  std::uint64_t leader_id = 0;        ///< the agreed leader ID
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  bool all_terminated = false;
+  std::uint64_t late_deliveries = 0;  ///< messages that reached a terminated node
+};
+
+/// Le Lann (1977): every ID circulates the full ring; O(n^2) messages.
+BaselineResult lelann(const std::vector<std::uint64_t>& ids,
+                      sim::Scheduler& scheduler,
+                      const MsgRunOptions& opts = {});
+
+/// Chang-Roberts (1979): smaller IDs are filtered; O(n^2) worst case,
+/// O(n log n) on average.
+BaselineResult chang_roberts(const std::vector<std::uint64_t>& ids,
+                             sim::Scheduler& scheduler,
+                             const MsgRunOptions& opts = {});
+
+/// Peterson (1982): unidirectional, O(n log n) worst case.
+BaselineResult peterson(const std::vector<std::uint64_t>& ids,
+                        sim::Scheduler& scheduler,
+                        const MsgRunOptions& opts = {});
+
+/// Hirschberg-Sinclair (1980): bidirectional doubling probes, O(n log n).
+BaselineResult hirschberg_sinclair(const std::vector<std::uint64_t>& ids,
+                                   sim::Scheduler& scheduler,
+                                   const MsgRunOptions& opts = {});
+
+/// Franklin (1982): bidirectional rounds between active neighbors,
+/// O(n log n).
+BaselineResult franklin(const std::vector<std::uint64_t>& ids,
+                        sim::Scheduler& scheduler,
+                        const MsgRunOptions& opts = {});
+
+/// Itai-Rodeh (1990): randomized election on an *anonymous* ring of known
+/// size n; terminates with probability 1 and always elects exactly one
+/// leader (Las Vegas). The paper cites it as the anonymous-ring baseline
+/// that needs knowledge of n, unlike Theorem 3.
+BaselineResult itai_rodeh(std::size_t n, std::uint64_t seed,
+                          sim::Scheduler& scheduler,
+                          const MsgRunOptions& opts = {});
+
+}  // namespace colex::baselines

@@ -1,0 +1,54 @@
+// Content-carrying messages for the classical baselines (paper §1.2).
+//
+// The baselines run on the *same* simulator as the content-oblivious
+// algorithms, just with a payload whose content survives the channel. This
+// makes message-count comparisons apples-to-apples: one Msg on a channel
+// corresponds to one pulse in the fully defective model, and `bit_size()`
+// accounts for the information a fully reliable channel would have to carry.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.hpp"
+
+namespace colex::baselines {
+
+struct Msg {
+  enum class Kind : std::uint8_t {
+    candidate,  ///< circulating id / temp-id (LeLann, CR, Peterson, Franklin)
+    probe,      ///< HS outbound probe with ttl
+    reply,      ///< HS inbound reply
+    announce,   ///< leader announcement, terminates receivers
+  };
+
+  Kind kind = Kind::candidate;
+  std::uint64_t value = 0;  ///< id, temp id, or leader id
+  std::uint32_t hops = 0;   ///< ttl (HS) or hop count (Itai-Rodeh)
+  std::uint32_t phase = 0;  ///< phase / round number
+  bool flag = false;        ///< Itai-Rodeh uniqueness bit
+
+  /// Bits a reliable channel must carry for this message: 2 kind bits, the
+  /// occupied value bits, hop and phase fields when nonzero, and the flag.
+  std::uint64_t bit_size() const {
+    auto width = [](std::uint64_t v) -> std::uint64_t {
+      std::uint64_t bits = 1;
+      while (v > 1) {
+        v >>= 1;
+        ++bits;
+      }
+      return bits;
+    };
+    std::uint64_t total = 2 + 1;  // kind + flag
+    total += width(value);
+    if (hops != 0) total += width(hops);
+    if (phase != 0) total += width(phase);
+    return total;
+  }
+};
+
+using MsgNetwork = sim::Network<Msg>;
+using MsgContext = sim::Context<Msg>;
+using MsgAutomaton = sim::Automaton<Msg>;
+using MsgRunOptions = sim::BasicRunOptions<Msg>;
+
+}  // namespace colex::baselines

@@ -1,0 +1,70 @@
+// Common scaffolding for baseline leader-election nodes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "baselines/msg.hpp"
+#include "sim/types.hpp"
+
+namespace colex::baselines {
+
+/// Port conventions on the oriented rings the baselines run on (identical
+/// to the content-oblivious convention): Port1 sends clockwise, clockwise
+/// traffic arrives at Port0.
+inline constexpr sim::Port kCw = sim::Port::p1;
+inline constexpr sim::Port kCcw = sim::Port::p0;
+
+/// Base class providing output fields and bit accounting. Subclasses
+/// implement the protocol in start/react.
+class BaselineNode : public MsgAutomaton {
+ public:
+  bool terminated() const override { return done_; }
+
+  bool is_leader() const { return is_leader_; }
+  std::optional<std::uint64_t> leader_id() const { return leader_id_; }
+  std::uint64_t bits_sent() const { return bits_sent_; }
+
+ protected:
+  /// Sends `m` through `p`, accounting for its bit cost.
+  void emit(MsgContext& ctx, sim::Port p, const Msg& m) {
+    bits_sent_ += m.bit_size();
+    ctx.send(p, m);
+  }
+
+  /// Standard end-game shared by the baselines: the self-identified leader
+  /// circulates an announce message clockwise; every other node records the
+  /// leader, forwards it once, and terminates; the leader terminates when
+  /// the announcement returns.
+  void start_announce(MsgContext& ctx, std::uint64_t own_id) {
+    is_leader_ = true;
+    leader_id_ = own_id;
+    Msg m;
+    m.kind = Msg::Kind::announce;
+    m.value = own_id;
+    emit(ctx, kCw, m);
+  }
+
+  /// Handles an announce message; returns true if it consumed the node.
+  void on_announce(MsgContext& ctx, const Msg& m) {
+    if (is_leader_) {
+      // Own announcement came back around: everyone knows; terminate.
+      done_ = true;
+      return;
+    }
+    leader_id_ = m.value;
+    emit(ctx, kCw, m);
+    done_ = true;
+  }
+
+  void finish() { done_ = true; }
+
+  bool is_leader_ = false;
+  std::optional<std::uint64_t> leader_id_;
+
+ private:
+  bool done_ = false;
+  std::uint64_t bits_sent_ = 0;
+};
+
+}  // namespace colex::baselines

@@ -1,0 +1,51 @@
+// Internal helper: build an oriented message ring, run it, extract results.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "baselines/baselines.hpp"
+#include "baselines/node.hpp"
+
+namespace colex::baselines::detail {
+
+/// `make(v)` returns the automaton for ring position v (as unique_ptr to a
+/// BaselineNode subclass).
+template <typename MakeNode>
+BaselineResult run_ring(std::size_t n, MakeNode&& make,
+                        sim::Scheduler& scheduler,
+                        const MsgRunOptions& opts) {
+  auto net = MsgNetwork::ring(n);
+  for (sim::NodeId v = 0; v < n; ++v) net.set_automaton(v, make(v));
+  const auto report = net.run(scheduler, opts);
+
+  BaselineResult result;
+  result.messages = report.sent;
+  result.all_terminated = report.all_terminated;
+  result.late_deliveries = report.deliveries_to_terminated;
+
+  std::size_t leaders = 0;
+  bool consensus = true;
+  std::optional<std::uint64_t> agreed;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    const auto& node = net.automaton_as<BaselineNode>(v);
+    result.bits += node.bits_sent();
+    if (node.is_leader()) {
+      ++leaders;
+      result.leader = v;
+    }
+    if (!node.leader_id().has_value()) {
+      consensus = false;
+    } else if (!agreed.has_value()) {
+      agreed = *node.leader_id();
+    } else if (*agreed != *node.leader_id()) {
+      consensus = false;
+    }
+  }
+  result.ok = leaders == 1 && consensus && agreed.has_value() &&
+              report.all_terminated && !report.hit_event_limit;
+  if (agreed) result.leader_id = *agreed;
+  return result;
+}
+
+}  // namespace colex::baselines::detail

@@ -1,0 +1,41 @@
+// Algorithm 1 (paper §3.1): quiescently stabilizing leader election on
+// oriented rings, using only clockwise pulses.
+//
+// Every node starts by sending one CW pulse and then relays every received
+// CW pulse, except for the single pulse that makes its received count equal
+// its own ID — that pulse is absorbed and the node marks itself Leader (a
+// state that any later pulse revokes). The network stabilizes with every
+// node having sent and received exactly IDmax pulses (Corollary 13), at
+// which point only the node with the maximal ID is Leader. Nodes never
+// terminate: they cannot tell locally that quiescence has been reached.
+#pragma once
+
+#include <cstdint>
+
+#include "co/oriented.hpp"
+#include "co/roles.hpp"
+#include "sim/network.hpp"
+
+namespace colex::co {
+
+class Alg1Stabilizing final : public sim::PulseAutomaton {
+ public:
+  /// `id` must be a positive integer; IDs need not be contiguous. The
+  /// algorithm also behaves correctly under non-unique IDs (Lemma 16), where
+  /// all nodes holding the maximal ID end up Leader.
+  explicit Alg1Stabilizing(std::uint64_t id);
+
+  void start(sim::PulseContext& ctx) override;
+  void react(sim::PulseContext& ctx) override;
+
+  std::uint64_t id() const { return id_; }
+  Role role() const { return role_; }
+  const PulseCounters& counters() const { return counters_; }
+
+ private:
+  std::uint64_t id_;
+  Role role_ = Role::undecided;
+  PulseCounters counters_;
+};
+
+}  // namespace colex::co

@@ -1,0 +1,112 @@
+// Machine-checkable statements of the paper's invariants, shared by the
+// property-test suites and the bench harness. Each checker returns an empty
+// string when the invariant holds and a diagnostic otherwise, so tests can
+// assert and benches can tally.
+#pragma once
+
+#include <string>
+
+#include "co/alg1.hpp"
+#include "co/alg2.hpp"
+#include "co/alg3.hpp"
+
+namespace colex::co {
+
+/// Lemma 6, per node: while rho_cw < ID the node has sent exactly one more
+/// pulse than it received (sigma_cw == rho_cw + 1); afterwards it has sent
+/// exactly as many (sigma_cw == rho_cw). Applies to any instance of
+/// Algorithm 1's relay discipline, including both directional instances
+/// inside Algorithm 2 (the CCW instance counts only after it started).
+inline std::string check_lemma6(std::uint64_t id, std::uint64_t rho,
+                                std::uint64_t sigma, bool instance_started,
+                                const char* what) {
+  if (!instance_started) {
+    return sigma == 0 ? std::string{}
+                      : std::string(what) + ": sent before starting";
+  }
+  if (rho < id) {
+    if (sigma != rho + 1) {
+      return std::string(what) + ": expected sigma == rho+1, got sigma=" +
+             std::to_string(sigma) + " rho=" + std::to_string(rho);
+    }
+  } else if (sigma != rho) {
+    return std::string(what) + ": expected sigma == rho, got sigma=" +
+           std::to_string(sigma) + " rho=" + std::to_string(rho);
+  }
+  return {};
+}
+
+/// All per-event invariants of Algorithm 1 at one node: Lemma 6 plus
+/// Corollary 14 (rho_cw never exceeds the network's IDmax).
+inline std::string check_alg1_invariants(const Alg1Stabilizing& alg,
+                                         std::uint64_t id_max) {
+  const auto& k = alg.counters();
+  if (auto err = check_lemma6(alg.id(), k.rho_cw, k.sigma_cw, true, "cw");
+      !err.empty()) {
+    return err;
+  }
+  if (k.rho_cw > id_max) return "Corollary 14: rho_cw exceeds IDmax";
+  return {};
+}
+
+/// Per-event invariants of Algorithm 2 at one node:
+///  * Lemma 6 on the CW instance;
+///  * Lemma 6 on the CCW instance once it has started (gated on
+///    rho_cw >= ID; the termination pulse makes sigma_ccw = rho_ccw + 1
+///    at the initiator and rho_ccw = sigma_ccw (+1 consumed) elsewhere, so
+///    the CCW check must tolerate the +1 from the termination wave);
+///  * the CCW instance never leads the CW one by more than the single
+///    termination pulse (rho_ccw <= rho_cw + 1);
+///  * only a node whose ID equals rho_cw may have initiated termination.
+inline std::string check_alg2_invariants(const Alg2Terminating& alg,
+                                         std::uint64_t id_max) {
+  const auto& k = alg.counters();
+  if (auto err = check_lemma6(alg.id(), k.rho_cw, k.sigma_cw, true, "cw");
+      !err.empty()) {
+    return err;
+  }
+  if (k.rho_cw > id_max) return "Corollary 14 (cw): rho_cw exceeds IDmax";
+  if (k.rho_ccw > id_max + 1) return "rho_ccw exceeds IDmax+1";
+  if (k.rho_ccw > k.rho_cw + 1) return "CCW instance overtook CW instance";
+  const bool ccw_started = k.sigma_ccw > 0;
+  if (!ccw_started && k.rho_cw >= alg.id()) {
+    // A started node past its threshold must have launched the CCW
+    // instance within the same react.
+    return "CCW instance not started despite rho_cw >= ID";
+  }
+  // Lemma 6 on the CCW instance, modulo the termination pulse: sigma_ccw
+  // may exceed the plain-instance prediction by at most 1 (the initiator's
+  // extra pulse or a forwarded termination pulse).
+  if (ccw_started) {
+    const std::uint64_t predicted =
+        k.rho_ccw < alg.id() ? k.rho_ccw + 1 : k.rho_ccw;
+    if (k.sigma_ccw != predicted && k.sigma_ccw != predicted + 1) {
+      return "Lemma 6 (ccw, +termination) violated: sigma_ccw=" +
+             std::to_string(k.sigma_ccw) +
+             " predicted=" + std::to_string(predicted);
+    }
+  }
+  return {};
+}
+
+/// Per-event invariants of Algorithm 3 at one node: Lemma 6 applied to each
+/// of the two directional instances (pulses received at port 1-i govern
+/// sends out of port i under virtual ID ID^(i)).
+inline std::string check_alg3_invariants(const Alg3NonOriented& alg,
+                                         IdScheme scheme) {
+  const VirtualIds vids = virtual_ids(alg.initial_id(), scheme);
+  for (const int i : {0, 1}) {
+    const std::uint64_t rho_in = alg.rho(sim::port_from_index(1 - i));
+    const std::uint64_t sigma_out = alg.sigma(sim::port_from_index(i));
+    // sigma includes the initial pulse from start (line 3): identical
+    // bookkeeping to Algorithm 1.
+    if (auto err = check_lemma6(vids.vid[i], rho_in, sigma_out, true,
+                                i == 0 ? "flow-0" : "flow-1");
+        !err.empty()) {
+      return err;
+    }
+  }
+  return {};
+}
+
+}  // namespace colex::co

@@ -1,0 +1,48 @@
+// Port conventions for algorithms on *oriented* rings (paper §2):
+// Port1 is the CW port. CW pulses are sent from CW ports and arrive at CCW
+// ports, so sendCW transmits on Port1 while recvCW reads the Port0 queue.
+#pragma once
+
+#include "sim/network.hpp"
+#include "sim/types.hpp"
+
+namespace colex::co {
+
+inline constexpr sim::Port kCwPort = sim::Port::p1;   // sendCW() port
+inline constexpr sim::Port kCcwPort = sim::Port::p0;  // sendCCW() port
+
+/// The rho/sigma counters of paper §3, maintained by the send/recv wrappers.
+struct PulseCounters {
+  std::uint64_t rho_cw = 0;    ///< received CW pulses
+  std::uint64_t sigma_cw = 0;  ///< sent CW pulses
+  std::uint64_t rho_ccw = 0;
+  std::uint64_t sigma_ccw = 0;
+};
+
+/// sendCW(): one pulse over the CW channel; updates sigma_cw.
+inline void send_cw(sim::PulseContext& ctx, PulseCounters& k) {
+  ctx.send(kCwPort);
+  ++k.sigma_cw;
+}
+
+/// recvCW(): consume one pulse from the CW incoming queue if available;
+/// updates rho_cw. Returns false when the queue is empty (the paper's
+/// "returns 0").
+inline bool recv_cw(sim::PulseContext& ctx, PulseCounters& k) {
+  if (!ctx.recv_pulse(kCcwPort)) return false;
+  ++k.rho_cw;
+  return true;
+}
+
+inline void send_ccw(sim::PulseContext& ctx, PulseCounters& k) {
+  ctx.send(kCcwPort);
+  ++k.sigma_ccw;
+}
+
+inline bool recv_ccw(sim::PulseContext& ctx, PulseCounters& k) {
+  if (!ctx.recv_pulse(kCwPort)) return false;
+  ++k.rho_ccw;
+  return true;
+}
+
+}  // namespace colex::co

@@ -1,0 +1,31 @@
+#include "co/replicated.hpp"
+
+#include "util/contracts.hpp"
+
+namespace colex::co {
+
+ReplicatedAdapter::ReplicatedAdapter(
+    std::unique_ptr<sim::PulseAutomaton> inner, unsigned r)
+    : inner_(std::move(inner)), r_(r) {
+  COLEX_EXPECTS(inner_ != nullptr);
+}
+
+void ReplicatedAdapter::absorb_physical(sim::PulseContext& ctx) {
+  for (const sim::Port p : {sim::Port::p0, sim::Port::p1}) {
+    while (ctx.recv_pulse(p)) ++physical_received_[sim::index(p)];
+  }
+}
+
+void ReplicatedAdapter::start(sim::PulseContext& ctx) {
+  GroupContext grouped(ctx, *this);
+  inner_->start(grouped);
+}
+
+void ReplicatedAdapter::react(sim::PulseContext& ctx) {
+  absorb_physical(ctx);
+  if (inner_->terminated()) return;  // trailing strays are discarded
+  GroupContext grouped(ctx, *this);
+  inner_->react(grouped);
+}
+
+}  // namespace colex::co

@@ -1,0 +1,20 @@
+// Output vocabulary of the leader election task (paper §3).
+#pragma once
+
+namespace colex::co {
+
+/// A node's election output. `undecided` is the initial value before the
+/// algorithm first assigns a state; every correct execution ends with exactly
+/// one `leader` and n-1 `non_leader`.
+enum class Role { undecided, leader, non_leader };
+
+constexpr const char* to_string(Role r) {
+  switch (r) {
+    case Role::undecided: return "undecided";
+    case Role::leader: return "leader";
+    case Role::non_leader: return "non-leader";
+  }
+  return "?";
+}
+
+}  // namespace colex::co

@@ -1,0 +1,49 @@
+#include "co/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace colex::co {
+
+SampledId sample_id(util::Xoshiro256StarStar& rng, double c) {
+  COLEX_EXPECTS(c > 0.0);
+  const double p = std::exp2(-1.0 / (c + 2.0));  // line 1
+  SampledId s;
+  s.bit_count = rng.geometric_trials(1.0 - p);  // line 2
+  if (s.bit_count > 62) s.bit_count = 62;
+  // Line 3: uniform over {0,1}^BitCount, shifted into positive range.
+  const std::uint64_t space = 1ULL << s.bit_count;
+  s.id = rng.below(space) + 1;
+  return s;
+}
+
+std::vector<SampledId> sample_ids(std::size_t n, double c,
+                                  std::uint64_t seed) {
+  std::vector<SampledId> out;
+  out.reserve(n);
+  util::SplitMix64 seeder(seed);
+  for (std::size_t v = 0; v < n; ++v) {
+    util::Xoshiro256StarStar rng(seeder.next());
+    out.push_back(sample_id(rng, c));
+  }
+  return out;
+}
+
+bool unique_max(const std::vector<SampledId>& ids) {
+  COLEX_EXPECTS(!ids.empty());
+  std::uint64_t best = 0;
+  std::size_t count = 0;
+  for (const auto& s : ids) {
+    if (s.id > best) {
+      best = s.id;
+      count = 1;
+    } else if (s.id == best) {
+      ++count;
+    }
+  }
+  return count == 1;
+}
+
+}  // namespace colex::co

@@ -1,0 +1,41 @@
+// Algorithm 4 (paper §5): message-free random ID sampling for anonymous
+// rings. Each node samples a bit-length from a geometric distribution and
+// then that many uniform bits; with high probability the maximal resulting
+// ID is unique and of order n^O(c^2) (Lemma 18), which reduces the anonymous
+// setting to the non-unique-ID setting handled by Lemma 16 / Theorem 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace colex::co {
+
+struct SampledId {
+  std::uint64_t bit_count = 0;  ///< BitCount ~ Geo(1 - p), p = 2^(-1/(c+2))
+  std::uint64_t id = 0;         ///< uniform BitCount-bit value, shifted by +1
+};
+
+/// Runs Algorithm 4 for one node with parameter c > 0.
+///
+/// Faithfulness note: the paper samples ID_v uniformly from {0,1}^BitCount,
+/// which can yield 0, while the model requires positive IDs; we therefore
+/// return (value + 1). The shift is uniform across nodes, so the
+/// distribution of collisions and of the argmax — everything Lemma 18
+/// reasons about — is unchanged. BitCount is capped at 62 so IDs fit in
+/// 64 bits; for every parameterization this library can simulate, the cap
+/// is hit with negligible probability.
+SampledId sample_id(util::Xoshiro256StarStar& rng, double c);
+
+/// Samples IDs for all n nodes of an anonymous ring (each node conceptually
+/// uses its own randomness source; we model that as one deterministic stream
+/// per node derived from `seed`).
+std::vector<SampledId> sample_ids(std::size_t n, double c,
+                                  std::uint64_t seed);
+
+/// True iff the maximum of `ids` is attained by exactly one node — the
+/// success event of Lemma 18 that makes the downstream election single-leader.
+bool unique_max(const std::vector<SampledId>& ids);
+
+}  // namespace colex::co

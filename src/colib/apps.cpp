@@ -1,0 +1,169 @@
+#include "colib/apps.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace colex::colib {
+
+void GatherAllApp::on_ready(std::size_t my_offset, std::size_t ring_size,
+                            bool is_root) {
+  my_offset_ = my_offset;
+  n_ = ring_size;
+  is_root_ = is_root;
+  values_.assign(n_, std::nullopt);
+}
+
+void GatherAllApp::on_frame(std::size_t from, const Bits& payload) {
+  COLEX_ASSERT(from < values_.size());
+  values_[from] = decode_u64(payload);
+}
+
+void GatherAllApp::on_token(BusCtl& ctl) {
+  if (!sent_) {
+    sent_ = true;
+    ctl.send_frame(encode_u64(input_));
+    return;
+  }
+  if (is_root_ && complete()) {
+    ctl.halt();
+    return;
+  }
+  ctl.pass();
+}
+
+bool GatherAllApp::complete() const {
+  if (values_.empty()) return false;
+  return std::all_of(values_.begin(), values_.end(),
+                     [](const std::optional<std::uint64_t>& v) {
+                       return v.has_value();
+                     });
+}
+
+std::uint64_t GatherAllApp::max_value() const {
+  COLEX_EXPECTS(complete());
+  std::uint64_t best = 0;
+  for (const auto& v : values_) best = std::max(best, *v);
+  return best;
+}
+
+std::uint64_t GatherAllApp::sum() const {
+  COLEX_EXPECTS(complete());
+  std::uint64_t total = 0;
+  for (const auto& v : values_) total += *v;
+  return total;
+}
+
+void SimContext::send(bool to_cw, Bits payload) {
+  outbox_.push_back(Outgoing{to_cw, std::move(payload)});
+}
+
+void SimulatorApp::on_ready(std::size_t my_offset, std::size_t ring_size,
+                            bool is_root) {
+  my_offset_ = my_offset;
+  n_ = ring_size;
+  is_root_ = is_root;
+  SimContext ctx(my_offset_, n_, outbox_);
+  node_->on_start(ctx);
+}
+
+void SimulatorApp::on_frame(std::size_t from, const Bits& payload) {
+  ++frames_seen_;
+  COLEX_ASSERT(!payload.empty());  // at least the direction bit
+  const bool to_cw = payload[0];
+  const std::size_t dest = to_cw ? (from + 1) % n_ : (from + n_ - 1) % n_;
+  if (dest != my_offset_) return;
+  Bits msg(payload.begin() + 1, payload.end());
+  SimContext ctx(my_offset_, n_, outbox_);
+  ++delivered_;
+  // A message sent clockwise arrives from the counterclockwise neighbor.
+  node_->on_message(ctx, /*from_cw=*/!to_cw, msg);
+}
+
+void SimulatorApp::on_token(BusCtl& ctl) {
+  if (!outbox_.empty()) {
+    auto out = std::move(outbox_.front());
+    outbox_.pop_front();
+    Bits frame;
+    frame.push_back(out.to_cw);
+    append(frame, out.payload);
+    ctl.send_frame(std::move(frame));
+    return;
+  }
+  if (is_root_) {
+    // A full rotation with no DATA frame and nothing pending here means
+    // every node passed with an empty outbox: the simulated algorithm is
+    // globally passive.
+    if (had_token_before_ && frames_seen_ == frames_at_last_token_) {
+      ctl.halt();
+      return;
+    }
+    had_token_before_ = true;
+    frames_at_last_token_ = frames_seen_;
+  }
+  ctl.pass();
+}
+
+void RingSumSimNode::on_start(SimContext& ctx) {
+  if (ctx.my_index() != 0) return;
+  if (ctx.ring_size() == 1) {
+    total_ = input_;
+    return;
+  }
+  Bits m{false};  // kind bit 0: accumulating
+  append(m, encode_u64(input_));
+  ctx.send(/*to_cw=*/true, m);
+}
+
+void RingSumSimNode::on_message(SimContext& ctx, bool, const Bits& payload) {
+  const bool is_total = payload[0];
+  const std::uint64_t value = decode_u64(payload, 1);
+  if (is_total) {
+    total_ = value;
+    if (ctx.my_index() != 0) ctx.send(true, payload);  // keep broadcasting
+    return;
+  }
+  if (ctx.my_index() == 0) {
+    total_ = value;  // the accumulator came home
+    Bits m{true};
+    append(m, encode_u64(value));
+    ctx.send(true, m);
+    return;
+  }
+  Bits m{false};
+  append(m, encode_u64(value + input_));
+  ctx.send(true, m);
+}
+
+void ChangRobertsSimNode::on_start(SimContext& ctx) {
+  if (ctx.ring_size() == 1) {
+    leader_ = id_;
+    is_leader_ = true;
+    return;
+  }
+  Bits m{false};  // kind 0: candidate
+  append(m, encode_u64(id_));
+  ctx.send(true, m);
+}
+
+void ChangRobertsSimNode::on_message(SimContext& ctx, bool,
+                                     const Bits& payload) {
+  const bool is_announce = payload[0];
+  const std::uint64_t value = decode_u64(payload, 1);
+  if (is_announce) {
+    leader_ = value;
+    if (value != id_) ctx.send(true, payload);
+    return;
+  }
+  if (value > id_) {
+    ctx.send(true, payload);
+  } else if (value == id_) {
+    is_leader_ = true;
+    leader_ = id_;
+    Bits m{true};
+    append(m, encode_u64(id_));
+    ctx.send(true, m);
+  }
+}
+
+}  // namespace colex::colib

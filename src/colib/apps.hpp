@@ -1,0 +1,236 @@
+// Applications for the content-oblivious bus.
+//
+//  * GatherAllApp — every node broadcasts one 64-bit input; all nodes end
+//    up knowing all n inputs (hence max, sum, and n itself). The simplest
+//    useful instance of Corollary 5.
+//  * SimulatorApp — the universal simulation: runs an arbitrary
+//    content-carrying asynchronous ring algorithm (SimNode interface) over
+//    pulses, serializing its message deliveries through the token. This is
+//    the ring-specialized analogue of [8, Theorem 1]'s compiler.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "colib/bus.hpp"
+
+namespace colex::colib {
+
+/// Broadcast-everything application; see header comment.
+class GatherAllApp final : public BusApp {
+ public:
+  explicit GatherAllApp(std::uint64_t input) : input_(input) {}
+
+  void on_ready(std::size_t my_offset, std::size_t ring_size,
+                bool is_root) override;
+  void on_frame(std::size_t from, const Bits& payload) override;
+  void on_token(BusCtl& ctl) override;
+  void on_halt() override { halted_ = true; }
+
+  bool complete() const;
+  bool halted() const { return halted_; }
+  std::size_t ring_size() const { return n_; }
+  std::size_t offset() const { return my_offset_; }
+  /// Gathered inputs, indexed by clockwise offset from the root.
+  const std::vector<std::optional<std::uint64_t>>& values() const {
+    return values_;
+  }
+  std::uint64_t max_value() const;
+  std::uint64_t sum() const;
+
+ private:
+  std::uint64_t input_;
+  std::size_t my_offset_ = 0;
+  std::size_t n_ = 0;
+  bool is_root_ = false;
+  bool sent_ = false;
+  bool halted_ = false;
+  std::vector<std::optional<std::uint64_t>> values_;
+};
+
+// ---------------------------------------------------------------------
+// Universal simulation of asynchronous ring algorithms (Corollary 5).
+// ---------------------------------------------------------------------
+
+class SimContext;
+
+/// A content-carrying asynchronous ring algorithm to be simulated. Nodes
+/// are addressed by clockwise index (0 = the bus root) and may message
+/// their two neighbors with arbitrary bit strings.
+class SimNode {
+ public:
+  virtual ~SimNode() = default;
+  /// Called once before any delivery; may send messages.
+  virtual void on_start(SimContext& ctx) = 0;
+  /// A message arrived from the clockwise (`from_cw` true) or
+  /// counterclockwise neighbor.
+  virtual void on_message(SimContext& ctx, bool from_cw,
+                          const Bits& payload) = 0;
+};
+
+/// What a simulated node can do: inspect its coordinates and send.
+class SimContext {
+ public:
+  std::size_t my_index() const { return my_index_; }
+  std::size_t ring_size() const { return n_; }
+  /// Queue a message to the clockwise (`to_cw`) or counterclockwise
+  /// neighbor. Delivery order per direction is FIFO.
+  void send(bool to_cw, Bits payload);
+
+ private:
+  friend class SimulatorApp;
+  struct Outgoing {
+    bool to_cw;
+    Bits payload;
+  };
+  SimContext(std::size_t my_index, std::size_t n,
+             std::deque<Outgoing>& outbox)
+      : my_index_(my_index), n_(n), outbox_(outbox) {}
+  std::size_t my_index_;
+  std::size_t n_;
+  std::deque<Outgoing>& outbox_;
+};
+
+/// Runs one SimNode over the bus. Each token visit transmits one pending
+/// simulated message as a DATA frame ([1 direction bit][payload]); the
+/// round-robin token is a fair scheduler for the simulated asynchronous
+/// algorithm. The root halts the bus after a full silent rotation (no DATA
+/// frame and an empty own outbox), which implies global passivity.
+class SimulatorApp final : public BusApp {
+ public:
+  explicit SimulatorApp(std::unique_ptr<SimNode> node)
+      : node_(std::move(node)) {}
+
+  void on_ready(std::size_t my_offset, std::size_t ring_size,
+                bool is_root) override;
+  void on_frame(std::size_t from, const Bits& payload) override;
+  void on_token(BusCtl& ctl) override;
+  void on_halt() override { halted_ = true; }
+
+  bool halted() const { return halted_; }
+  std::size_t messages_delivered() const { return delivered_; }
+  SimNode& node() { return *node_; }
+  const SimNode& node() const { return *node_; }
+
+ private:
+  std::unique_ptr<SimNode> node_;
+  std::deque<SimContext::Outgoing> outbox_;
+  std::size_t my_offset_ = 0;
+  std::size_t n_ = 0;
+  bool is_root_ = false;
+  bool halted_ = false;
+  std::size_t delivered_ = 0;
+  // Root-only: total DATA frames observed, and its value at the root's
+  // previous token visit (for silent-rotation detection).
+  std::uint64_t frames_seen_ = 0;
+  std::uint64_t frames_at_last_token_ = 0;
+  bool had_token_before_ = false;
+};
+
+/// The root broadcasts one 64-bit value to every node, then halts. The
+/// cheapest non-trivial use of the bus: survey + one DATA frame + HALT.
+class BroadcastApp final : public BusApp {
+ public:
+  /// `value` is only read at the root; other nodes may pass anything.
+  explicit BroadcastApp(std::uint64_t value) : value_(value) {}
+
+  void on_ready(std::size_t, std::size_t, bool is_root) override {
+    is_root_ = is_root;
+  }
+  void on_frame(std::size_t, const Bits& payload) override {
+    received_ = decode_u64(payload);
+  }
+  void on_token(BusCtl& ctl) override {
+    // Only the root ever holds the token: it transmits, then halts.
+    if (!sent_) {
+      sent_ = true;
+      ctl.send_frame(encode_u64(value_));
+    } else {
+      ctl.halt();
+    }
+  }
+  void on_halt() override { halted_ = true; }
+
+  std::optional<std::uint64_t> received() const { return received_; }
+  bool halted() const { return halted_; }
+
+ private:
+  std::uint64_t value_;
+  bool is_root_ = false;
+  bool sent_ = false;
+  bool halted_ = false;
+  std::optional<std::uint64_t> received_;
+};
+
+/// Assigns every node a distinct compact ID — its clockwise offset from the
+/// root plus one. This is the "assigning unique IDs" task from the paper's
+/// Section 5 separation discussion, and it is free beyond the survey: the
+/// survey already distinguishes every node, so the root halts immediately.
+class UniqueIdsApp final : public BusApp {
+ public:
+  void on_ready(std::size_t my_offset, std::size_t ring_size,
+                bool is_root) override {
+    assigned_id_ = my_offset + 1;
+    n_ = ring_size;
+    is_root_ = is_root;
+  }
+  void on_frame(std::size_t, const Bits&) override {}
+  void on_token(BusCtl& ctl) override { ctl.halt(); }
+  void on_halt() override { halted_ = true; }
+
+  /// The node's new unique ID in [1, n]; 0 until the survey completes.
+  std::uint64_t assigned_id() const { return assigned_id_; }
+  std::size_t ring_size() const { return n_; }
+  bool halted() const { return halted_; }
+
+ private:
+  std::uint64_t assigned_id_ = 0;
+  std::size_t n_ = 0;
+  bool is_root_ = false;
+  bool halted_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Demo simulated algorithms (used by tests, examples, and benches).
+// ---------------------------------------------------------------------
+
+/// Node 0 circulates an accumulator clockwise; each node adds its input;
+/// when the accumulator returns, node 0 broadcasts the total and every node
+/// records it.
+class RingSumSimNode final : public SimNode {
+ public:
+  explicit RingSumSimNode(std::uint64_t input) : input_(input) {}
+
+  void on_start(SimContext& ctx) override;
+  void on_message(SimContext& ctx, bool from_cw, const Bits& payload) override;
+
+  std::optional<std::uint64_t> total() const { return total_; }
+
+ private:
+  std::uint64_t input_;
+  std::optional<std::uint64_t> total_;
+};
+
+/// Textbook Chang-Roberts with content-carrying messages, running over the
+/// pulse bus: Corollary 5 at its most literal. IDs here are inputs of the
+/// *simulated* algorithm and independent of the IDs used by the election.
+class ChangRobertsSimNode final : public SimNode {
+ public:
+  explicit ChangRobertsSimNode(std::uint64_t id) : id_(id) {}
+
+  void on_start(SimContext& ctx) override;
+  void on_message(SimContext& ctx, bool from_cw, const Bits& payload) override;
+
+  bool is_leader() const { return is_leader_; }
+  std::optional<std::uint64_t> leader() const { return leader_; }
+
+ private:
+  std::uint64_t id_;
+  bool is_leader_ = false;
+  std::optional<std::uint64_t> leader_;
+};
+
+}  // namespace colex::colib

@@ -1,0 +1,38 @@
+// Bit-vector payload helpers for the content-oblivious token bus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace colex::colib {
+
+using Bits = std::vector<bool>;
+
+/// Minimal-width LSB-first encoding; 0 encodes as the empty vector (frames
+/// are length-delimited, so the width is recoverable).
+inline Bits encode_u64(std::uint64_t value) {
+  Bits out;
+  while (value != 0) {
+    out.push_back((value & 1) != 0);
+    value >>= 1;
+  }
+  return out;
+}
+
+inline std::uint64_t decode_u64(const Bits& bits, std::size_t from = 0,
+                                std::size_t count = ~std::size_t{0}) {
+  std::uint64_t value = 0;
+  std::size_t limit = bits.size() - from;
+  if (count < limit) limit = count;
+  for (std::size_t i = limit; i-- > 0;) {
+    value = (value << 1) | (bits[from + i] ? 1u : 0u);
+  }
+  return value;
+}
+
+/// Appends `more` to `bits`.
+inline void append(Bits& bits, const Bits& more) {
+  bits.insert(bits.end(), more.begin(), more.end());
+}
+
+}  // namespace colex::colib

@@ -1,0 +1,246 @@
+#include "colib/bus.hpp"
+
+#include "util/contracts.hpp"
+
+namespace colex::colib {
+
+namespace {
+// Oriented-ring conventions (same as co::oriented): a clockwise pulse
+// leaves through Port1 and arrives at Port0.
+constexpr sim::Port kCwOut = sim::Port::p1;
+constexpr sim::Port kCcwOut = sim::Port::p0;
+constexpr sim::Port kCwIn = sim::Port::p0;
+}  // namespace
+
+void BusCtl::send_frame(Bits payload) {
+  COLEX_EXPECTS(action_ == Action::none);
+  action_ = Action::frame;
+  payload_ = std::move(payload);
+}
+
+void BusCtl::pass() {
+  COLEX_EXPECTS(action_ == Action::none);
+  action_ = Action::pass;
+}
+
+void BusCtl::halt() {
+  COLEX_EXPECTS(action_ == Action::none);
+  COLEX_EXPECTS(is_root_);  // only the root may shut the bus down
+  action_ = Action::halt;
+}
+
+BusNode::BusNode(std::unique_ptr<BusApp> app, bool is_root,
+                 BusOptions options)
+    : app_(std::move(app)), is_root_(is_root), options_(options) {
+  COLEX_EXPECTS(app_ != nullptr);
+}
+
+void BusNode::start(sim::PulseContext& ctx) { begin(ctx); }
+
+void BusNode::begin(sim::PulseContext& ctx) {
+  COLEX_EXPECTS(phase_ == Phase::idle);
+  if (is_root_) {
+    phase_ = Phase::root_surveying;
+    send_pulse(ctx, kCwOut);  // hand the survey token to the CW neighbor
+  } else {
+    phase_ = Phase::waiting_handoff;
+  }
+}
+
+void BusNode::react(sim::PulseContext& ctx) {
+  bool progress = true;
+  while (progress && phase_ != Phase::done) {
+    progress = false;
+    for (const sim::Port port : {sim::Port::p0, sim::Port::p1}) {
+      if (!ctx.recv_pulse(port)) continue;
+      progress = true;
+      if (phase_ == Phase::stream) {
+        handle_stream(ctx, port);
+      } else {
+        handle_survey(ctx, port);
+      }
+      if (phase_ == Phase::done) return;
+    }
+  }
+}
+
+void BusNode::handle_survey(sim::PulseContext& ctx, sim::Port port) {
+  const bool is_cw_pulse = port == kCwIn;
+  switch (phase_) {
+    case Phase::waiting_handoff:
+      if (is_cw_pulse) {
+        // The survey token: we hold it now. Emit our census circle.
+        my_offset_ = circles_seen_ + 1;
+        phase_ = Phase::holding_circle;
+        send_pulse(ctx, kCcwOut);
+      } else {
+        ++circles_seen_;  // someone else's census circle: forward it
+        send_pulse(ctx, kCcwOut);
+      }
+      return;
+    case Phase::holding_circle:
+      // Only our own census circle can be in flight.
+      COLEX_ASSERT(!is_cw_pulse);
+      ++circles_seen_;  // count our own circle too
+      phase_ = Phase::after_held;
+      send_pulse(ctx, kCwOut);  // hand the token onward
+      return;
+    case Phase::after_held:
+      if (is_cw_pulse) {
+        // The root's survey-end marker.
+        n_ = circles_seen_ + 1;
+        send_pulse(ctx, kCwOut);  // forward the marker
+        enter_stream(ctx);
+      } else {
+        ++circles_seen_;
+        send_pulse(ctx, kCcwOut);
+      }
+      return;
+    case Phase::root_surveying:
+      if (is_cw_pulse) {
+        // The survey token made it all the way back: survey complete.
+        n_ = circles_seen_ + 1;
+        phase_ = Phase::root_marker;
+        send_pulse(ctx, kCwOut);  // emit the survey-end marker
+      } else {
+        ++circles_seen_;
+        send_pulse(ctx, kCcwOut);
+      }
+      return;
+    case Phase::root_marker:
+      COLEX_ASSERT(is_cw_pulse);  // our marker returning
+      enter_stream(ctx);
+      return;
+    case Phase::idle:
+    case Phase::stream:
+    case Phase::done:
+      COLEX_ASSERT(false);  // unreachable
+  }
+}
+
+void BusNode::enter_stream(sim::PulseContext& ctx) {
+  phase_ = Phase::stream;
+  holder_ = 0;  // the root holds the token first
+  app_->on_ready(my_offset_, n_, is_root_);
+  if (holder_ == my_offset_) {
+    COLEX_ASSERT(is_root_);
+    run_token_action(ctx);
+  }
+}
+
+void BusNode::handle_stream(sim::PulseContext& ctx, sim::Port port) {
+  const bool is_cw_pulse = port == kCwIn;
+
+  // The private "go" pulse after a PASS: only the new holder receives it,
+  // and it is control-plane only — neither forwarded nor decoded.
+  if (awaiting_go_ && !emitting_ && is_cw_pulse) {
+    awaiting_go_ = false;
+    run_token_action(ctx);
+    return;
+  }
+
+  const bool bit = !is_cw_pulse;  // CW pulse = 0, CCW pulse = 1
+
+  if (emitting_) {
+    // Our own bit completed its circle; absorb it and keep the decoders in
+    // lockstep by decoding it like everyone else did.
+    feed_decoder(ctx, bit);
+    if (phase_ == Phase::done) return;
+    if (emit_index_ < emission_.size()) {
+      emit_next_bit(ctx);
+      return;
+    }
+    // Emission complete.
+    emitting_ = false;
+    emission_.clear();
+    emit_index_ = 0;
+    if (send_go_after_emission_) {
+      send_go_after_emission_ = false;
+      if (!options_.unsafe_skip_go) {
+        send_pulse(ctx, kCwOut);  // wake the new holder
+      } else if (awaiting_go_) {
+        // Ablation mode, n == 1: we passed the token to ourselves.
+        awaiting_go_ = false;
+        run_token_action(ctx);
+      }
+      return;
+    }
+    // The action was DATA: we keep the token and choose again.
+    run_token_action(ctx);
+    return;
+  }
+
+  // Someone else's bit: forward it in its direction of travel, then decode.
+  send_pulse(ctx, is_cw_pulse ? kCwOut : kCcwOut);
+  feed_decoder(ctx, bit);
+}
+
+void BusNode::feed_decoder(sim::PulseContext& ctx, bool bit) {
+  const auto frame = decoder_.feed(bit);
+  if (!frame) return;
+  switch (frame->kind) {
+    case Frame::Kind::pass:
+      on_pass_decoded(ctx);  // the token moves one hop clockwise
+      return;
+    case Frame::Kind::halt:
+      // HALT: last pulse of the bus's lifetime.
+      phase_ = Phase::done;
+      app_->on_halt();
+      return;
+    case Frame::Kind::data:
+      app_->on_frame(holder_, frame->payload);
+      return;
+  }
+}
+
+void BusNode::on_pass_decoded(sim::PulseContext& ctx) {
+  holder_ = (holder_ + 1) % n_;
+  if (holder_ != my_offset_) return;
+  if (!options_.unsafe_skip_go) {
+    awaiting_go_ = true;
+    return;
+  }
+  // ABLATION: act immediately. If we are the emitter whose own pass bit
+  // just returned (n == 1), defer to the emission-complete path.
+  if (emitting_) {
+    awaiting_go_ = true;
+    return;
+  }
+  run_token_action(ctx);
+}
+
+void BusNode::run_token_action(sim::PulseContext& ctx) {
+  BusCtl ctl(is_root_);
+  app_->on_token(ctl);
+  COLEX_EXPECTS(ctl.action_ != BusCtl::Action::none);
+  switch (ctl.action_) {
+    case BusCtl::Action::frame:
+      emission_ = encode_data_frame(ctl.payload_);
+      break;
+    case BusCtl::Action::pass:
+      emission_ = encode_pass_frame();
+      send_go_after_emission_ = true;
+      break;
+    case BusCtl::Action::halt:
+      emission_ = encode_halt_frame();
+      break;
+    case BusCtl::Action::none:
+      COLEX_ASSERT(false);
+  }
+  emitting_ = true;
+  emit_index_ = 0;
+  emit_next_bit(ctx);
+}
+
+void BusNode::emit_next_bit(sim::PulseContext& ctx) {
+  COLEX_ASSERT(emit_index_ < emission_.size());
+  const bool bit = emission_[emit_index_++];
+  send_pulse(ctx, bit ? kCcwOut : kCwOut);  // 0 travels CW, 1 travels CCW
+}
+
+void BusNode::send_pulse(sim::PulseContext& ctx, sim::Port p) {
+  ++pulses_sent_;
+  ctx.send(p);
+}
+
+}  // namespace colex::colib

@@ -1,0 +1,177 @@
+// A root-coordinated, content-oblivious broadcast bus on oriented rings —
+// the ring-specialized substrate of Censor-Hillel, Cohen, Gelles & Sela's
+// universal content-oblivious computation ("[8]", Distributed Computing
+// 2023), which the paper composes with in §1.1 / Corollary 5.
+//
+// Model recap: channels carry only pulses. Given a unique root (the elected
+// leader) and an orientation, arbitrary data can move through the ring as
+// follows.
+//
+//  * Serialization. At any moment at most one pulse is in flight in the
+//    entire ring. Under that invariant a pulse's direction is one bit of
+//    information: the emitter sends it clockwise (bit 0) or counterclockwise
+//    (bit 1); every other node forwards it in the same direction; after a
+//    full circle the emitter absorbs it. Every node therefore observes the
+//    same global bit sequence, at a cost of exactly n pulses per bit.
+//
+//  * Survey. Before any framing is possible, nodes must learn the ring size
+//    n and their clockwise offset from the root. The root hands a survey
+//    token clockwise: a single CW pulse absorbed by its recipient. Each new
+//    holder emits one full-circle CCW pulse (its "census circle"), waits for
+//    it to return, then hands the token onward. A node's offset is one plus
+//    the number of circles it saw before holding; when the token returns to
+//    the root, the root emits one full-circle CW pulse (the "marker"), which
+//    tells every node the survey is over and that n = circles seen + 1.
+//    Cost: n handoffs + n(n-1) circle pulses + n marker pulses = n^2 + n.
+//
+//  * Frames. After the marker, the bit stream is parsed identically by all
+//    nodes as a sequence of frames from the current token holder:
+//        0                          PASS   token moves one hop clockwise
+//        1 0                        HALT   bus shuts down (root only)
+//        1 1 1^L 0 b_1..b_L         DATA   broadcast payload b to everyone
+//    After PASS, the old holder (who absorbed the pass bit) sends one
+//    private clockwise "go" pulse to the new holder; the new holder begins
+//    acting only upon receiving it. This keeps the one-pulse-in-flight
+//    invariant: a freshly passed token holder can otherwise emit a CCW bit
+//    that overtakes the still-circulating pass bit. After DATA the sender
+//    keeps the token. After HALT every node terminates — quiescently,
+//    because the halt bit is the last pulse ever in flight.
+//
+// Applications drive the bus through the BusApp interface below, strictly
+// turn-based: whenever this node holds the token, on_token must choose
+// exactly one action (data / pass / halt).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "colib/bits.hpp"
+#include "colib/framing.hpp"
+#include "sim/network.hpp"
+
+namespace colex::colib {
+
+class BusNode;
+
+/// Handed to BusApp::on_token; the app must call exactly one action.
+class BusCtl {
+ public:
+  /// Broadcast `payload` to every node (including self); keep the token.
+  void send_frame(Bits payload);
+  /// Hand the token to the clockwise neighbor.
+  void pass();
+  /// Shut the bus down; permitted only at the root.
+  void halt();
+
+ private:
+  friend class BusNode;
+  enum class Action { none, frame, pass, halt };
+  explicit BusCtl(bool is_root) : is_root_(is_root) {}
+  bool is_root_;
+  Action action_ = Action::none;
+  Bits payload_;
+};
+
+/// The application protocol running on top of the bus.
+class BusApp {
+ public:
+  virtual ~BusApp() = default;
+
+  /// The survey finished: the bus is operational. Every node learns the
+  /// ring size and its clockwise offset from the root (root offset = 0).
+  virtual void on_ready(std::size_t my_offset, std::size_t ring_size,
+                        bool is_root) = 0;
+
+  /// A DATA frame from the node at clockwise offset `from` (broadcast
+  /// semantics: delivered at every node, the sender included).
+  virtual void on_frame(std::size_t from, const Bits& payload) = 0;
+
+  /// This node holds the token and must choose exactly one action on `ctl`.
+  virtual void on_token(BusCtl& ctl) = 0;
+
+  /// The bus was shut down by HALT (final callback).
+  virtual void on_halt() {}
+};
+
+/// Tuning/ablation knobs for the bus.
+struct BusOptions {
+  /// ABLATION ONLY — disables the private "go" pulse after PASS, letting
+  /// the new holder emit as soon as it decodes the pass bit. This violates
+  /// the one-pulse-in-flight invariant: a CCW bit emitted by the new holder
+  /// can overtake the still-circulating pass bit and desynchronize the
+  /// decoders. bench_e11_ablation demonstrates the resulting corruption;
+  /// never enable it otherwise.
+  bool unsafe_skip_go = false;
+};
+
+/// The per-node bus automaton. Run it directly (with `root` designating the
+/// coordinator) or behind co::Alg2Terminating via colib::ComposedNode.
+class BusNode final : public sim::PulseAutomaton {
+ public:
+  BusNode(std::unique_ptr<BusApp> app, bool is_root,
+          BusOptions options = {});
+
+  void start(sim::PulseContext& ctx) override;
+  void react(sim::PulseContext& ctx) override;
+  bool terminated() const override { return phase_ == Phase::done; }
+
+  /// Begin operating (used by ComposedNode at the phase switch; `start`
+  /// simply calls this).
+  void begin(sim::PulseContext& ctx);
+
+  BusApp& app() { return *app_; }
+  const BusApp& app() const { return *app_; }
+  std::size_t ring_size() const { return n_; }
+  std::size_t my_offset() const { return my_offset_; }
+  bool halted() const { return phase_ == Phase::done; }
+  std::uint64_t pulses_sent() const { return pulses_sent_; }
+
+ private:
+  enum class Phase {
+    idle,              // before begin()
+    waiting_handoff,   // non-root, survey token not yet held
+    holding_circle,    // survey token held, census circle in flight
+    after_held,        // survey participation done, waiting for marker
+    root_surveying,    // root, waiting for the token to come back
+    root_marker,       // root, marker circle in flight
+    stream,            // frame phase
+    done,
+  };
+
+  // -- survey ----------------------------------------------------------
+  void handle_survey(sim::PulseContext& ctx, sim::Port port);
+  void enter_stream(sim::PulseContext& ctx);
+
+  // -- stream ----------------------------------------------------------
+  void handle_stream(sim::PulseContext& ctx, sim::Port port);
+  void feed_decoder(sim::PulseContext& ctx, bool bit);
+  void on_pass_decoded(sim::PulseContext& ctx);
+  void run_token_action(sim::PulseContext& ctx);
+  void emit_next_bit(sim::PulseContext& ctx);
+  void send_pulse(sim::PulseContext& ctx, sim::Port p);
+
+  std::unique_ptr<BusApp> app_;
+  bool is_root_;
+  BusOptions options_;
+  Phase phase_ = Phase::idle;
+  std::uint64_t pulses_sent_ = 0;
+
+  // Survey state.
+  std::size_t circles_seen_ = 0;
+  std::size_t my_offset_ = 0;
+  std::size_t n_ = 0;
+
+  // Stream state.
+  std::size_t holder_ = 0;       // clockwise offset of the token holder
+  bool awaiting_go_ = false;     // we are the new holder, go pulse pending
+  bool emitting_ = false;        // our own bits are circling
+  Bits emission_;                // bits still to emit (front first)
+  std::size_t emit_index_ = 0;
+  bool send_go_after_emission_ = false;  // we emitted PASS
+
+  // Frame decoder (shared bit stream; identical at every node).
+  FrameDecoder decoder_;
+};
+
+}  // namespace colex::colib

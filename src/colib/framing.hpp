@@ -1,0 +1,90 @@
+// The token bus's frame codec, factored out of BusNode so the grammar can
+// be tested (and fuzzed) in isolation from pulse transport.
+//
+// Stream grammar (one frame at a time, bits arrive in order):
+//     0                        PASS
+//     1 0                      HALT
+//     1 1 1^L 0 b_1..b_L       DATA with L payload bits
+#pragma once
+
+#include <optional>
+
+#include "colib/bits.hpp"
+#include "util/contracts.hpp"
+
+namespace colex::colib {
+
+/// A decoded frame event.
+struct Frame {
+  enum class Kind { pass, halt, data };
+  Kind kind = Kind::pass;
+  Bits payload;  ///< data frames only
+};
+
+/// Encodes one frame into the bit stream representation.
+inline Bits encode_pass_frame() { return Bits{false}; }
+
+inline Bits encode_halt_frame() { return Bits{true, false}; }
+
+inline Bits encode_data_frame(const Bits& payload) {
+  Bits out{true, true};
+  out.insert(out.end(), payload.size(), true);
+  out.push_back(false);
+  append(out, payload);
+  return out;
+}
+
+/// Incremental decoder: feed bits one at a time; a completed frame is
+/// returned (and the decoder resets) exactly when the grammar closes.
+class FrameDecoder {
+ public:
+  /// Consumes one bit; returns a frame when one completes.
+  std::optional<Frame> feed(bool bit) {
+    switch (state_) {
+      case State::idle:
+        if (!bit) return Frame{Frame::Kind::pass, {}};
+        state_ = State::saw1;
+        return std::nullopt;
+      case State::saw1:
+        if (!bit) {
+          state_ = State::idle;
+          return Frame{Frame::Kind::halt, {}};
+        }
+        state_ = State::length;
+        length_ = 0;
+        return std::nullopt;
+      case State::length:
+        if (bit) {
+          ++length_;
+          return std::nullopt;
+        }
+        if (length_ == 0) {
+          state_ = State::idle;
+          return Frame{Frame::Kind::data, {}};
+        }
+        state_ = State::payload;
+        payload_.clear();
+        return std::nullopt;
+      case State::payload:
+        payload_.push_back(bit);
+        if (payload_.size() < length_) return std::nullopt;
+        state_ = State::idle;
+        Frame frame{Frame::Kind::data, {}};
+        frame.payload.swap(payload_);
+        return frame;
+    }
+    COLEX_ASSERT(false);
+    return std::nullopt;
+  }
+
+  /// True iff the decoder is between frames.
+  bool idle() const { return state_ == State::idle; }
+
+ private:
+  enum class State { idle, saw1, length, payload };
+  State state_ = State::idle;
+  std::size_t length_ = 0;
+  Bits payload_;
+};
+
+}  // namespace colex::colib

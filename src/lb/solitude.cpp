@@ -1,0 +1,116 @@
+#include "lb/solitude.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+
+namespace colex::lb {
+
+SolitudePattern solitude_pattern(const AutomatonFactory& factory,
+                                 std::uint64_t id, std::uint64_t max_events) {
+  SolitudePattern pattern;
+  pattern.id = id;
+
+  auto net = sim::PulseNetwork::ring(1);
+  net.set_automaton(0, factory(id));
+
+  sim::SolitudeScheduler scheduler;
+  sim::RunOptions opts;
+  opts.max_events = max_events;
+  opts.on_deliver = [&pattern](sim::NodeId, sim::Port, sim::Direction d) {
+    pattern.bits.push_back(d == sim::Direction::cw ? '0' : '1');
+  };
+  const auto report = net.run(scheduler, opts);
+  pattern.terminated = report.all_terminated;
+  pattern.quiescent = report.quiescent;
+  return pattern;
+}
+
+std::vector<SolitudePattern> solitude_patterns(const AutomatonFactory& factory,
+                                               std::uint64_t lo,
+                                               std::uint64_t hi,
+                                               std::uint64_t max_events) {
+  COLEX_EXPECTS(lo <= hi);
+  std::vector<SolitudePattern> out;
+  out.reserve(hi - lo + 1);
+  for (std::uint64_t id = lo; id <= hi; ++id) {
+    out.push_back(solitude_pattern(factory, id, max_events));
+  }
+  return out;
+}
+
+bool all_patterns_distinct(const std::vector<SolitudePattern>& patterns) {
+  std::unordered_set<std::string> seen;
+  seen.reserve(patterns.size());
+  for (const auto& p : patterns) {
+    if (!seen.insert(p.bits).second) return false;
+  }
+  return true;
+}
+
+std::size_t common_prefix(const std::string& a, const std::string& b) {
+  const std::size_t limit = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+PrefixGroup best_prefix_group(const std::vector<SolitudePattern>& patterns,
+                              std::size_t n) {
+  COLEX_EXPECTS(n >= 1 && patterns.size() >= n);
+  // Any n strings sharing a prefix are contiguous once sorted, so the best
+  // group is a window of n consecutive sorted strings; its shared prefix is
+  // the minimum of the adjacent-pair LCPs inside the window.
+  std::vector<const SolitudePattern*> sorted;
+  sorted.reserve(patterns.size());
+  for (const auto& p : patterns) sorted.push_back(&p);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SolitudePattern* a, const SolitudePattern* b) {
+              return a->bits < b->bits;
+            });
+
+  std::vector<std::size_t> adjacent_lcp(sorted.size());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    adjacent_lcp[i] = common_prefix(sorted[i - 1]->bits, sorted[i]->bits);
+  }
+
+  PrefixGroup best;
+  for (std::size_t start = 0; start + n <= sorted.size(); ++start) {
+    std::size_t lcp = sorted[start]->bits.size();
+    for (std::size_t i = start + 1; i < start + n; ++i) {
+      lcp = std::min(lcp, adjacent_lcp[i]);
+    }
+    if (best.ids.empty() || lcp > best.prefix_length) {
+      best.prefix_length = lcp;
+      best.ids.clear();
+      for (std::size_t i = start; i < start + n; ++i) {
+        best.ids.push_back(sorted[i]->id);
+      }
+    }
+  }
+  return best;
+}
+
+TwoNodeObservation two_node_observation(const AutomatonFactory& factory,
+                                        std::uint64_t id_a,
+                                        std::uint64_t id_b,
+                                        std::uint64_t max_events) {
+  TwoNodeObservation out;
+  auto net = sim::PulseNetwork::ring(2);
+  net.set_automaton(0, factory(id_a));
+  net.set_automaton(1, factory(id_b));
+  sim::SolitudeScheduler scheduler;
+  sim::RunOptions opts;
+  opts.max_events = max_events;
+  opts.on_deliver = [&out](sim::NodeId v, sim::Port, sim::Direction d) {
+    (v == 0 ? out.observed_a : out.observed_b)
+        .push_back(d == sim::Direction::cw ? '0' : '1');
+  };
+  const auto report = net.run(scheduler, opts);
+  out.quiescent = report.quiescent;
+  out.hit_event_limit = report.hit_event_limit;
+  return out;
+}
+
+}  // namespace colex::lb

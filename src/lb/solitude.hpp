@@ -1,0 +1,88 @@
+// Lower-bound machinery (paper §6).
+//
+// Definition 21: the *solitude pattern* of an algorithm for a given ID is
+// the sequence of incoming pulses observed by a single node forming a ring
+// with itself (n = 1, its CW port wired to its own CCW port), under the
+// scheduler that delivers pulses in send order with CW priority. The pattern
+// is encoded as a binary string: 0 for a CW pulse, 1 for a CCW pulse.
+//
+// Lemma 22 shows each ID must have a unique solitude pattern; Lemma 23 /
+// Corollary 24 turn that into the Theorem 4 / Theorem 20 lower bound of
+// n * floor(log2(k/n)) pulses via shared prefixes. This module extracts
+// solitude patterns from any automaton factory, verifies uniqueness, and
+// finds maximal shared-prefix ID groups.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace colex::lb {
+
+/// Builds the automaton a node with the given ID would run.
+using AutomatonFactory =
+    std::function<std::unique_ptr<sim::PulseAutomaton>(std::uint64_t id)>;
+
+struct SolitudePattern {
+  std::uint64_t id = 0;
+  /// '0' = CW pulse received, '1' = CCW pulse received (Definition 21).
+  std::string bits;
+  bool terminated = false;  ///< the lone node terminated
+  bool quiescent = false;   ///< the run reached quiescence
+};
+
+/// Runs `factory(id)` on the one-node ring under the Definition 21 scheduler
+/// and records the delivery pattern. `max_events` bounds non-terminating
+/// executions.
+SolitudePattern solitude_pattern(const AutomatonFactory& factory,
+                                 std::uint64_t id,
+                                 std::uint64_t max_events = 1u << 20);
+
+/// Extracts patterns for ids lo..hi (inclusive).
+std::vector<SolitudePattern> solitude_patterns(const AutomatonFactory& factory,
+                                               std::uint64_t lo,
+                                               std::uint64_t hi,
+                                               std::uint64_t max_events = 1u
+                                                                          << 20);
+
+/// Lemma 22 check: true iff all patterns are pairwise distinct.
+bool all_patterns_distinct(const std::vector<SolitudePattern>& patterns);
+
+/// Length of the longest common prefix of two strings.
+std::size_t common_prefix(const std::string& a, const std::string& b);
+
+struct PrefixGroup {
+  std::vector<std::uint64_t> ids;   ///< group members (size n)
+  std::size_t prefix_length = 0;    ///< shared prefix among all members
+};
+
+/// Corollary 24, constructively: among the given patterns, finds a group of
+/// `n` IDs whose patterns share the longest possible common prefix, greedily
+/// by walking the prefix trie. The returned prefix length is at least
+/// floor(log2(k/n)) when `patterns.size() >= n` patterns of distinct IDs are
+/// supplied (k = patterns.size()).
+PrefixGroup best_prefix_group(const std::vector<SolitudePattern>& patterns,
+                              std::size_t n);
+
+/// Lemma 22's proof device: two nodes with IDs `id_a` and `id_b` on a
+/// 2-ring, driven by the Definition 21 scheduler (send order, CW priority,
+/// equal delays). Records the pulse sequence each node observes. If the two
+/// IDs had identical solitude patterns, both nodes would replay their
+/// solitude executions verbatim and both would output Leader — the
+/// contradiction that proves patterns must be unique.
+struct TwoNodeObservation {
+  std::string observed_a;  ///< deliveries at node 0, encoded like a pattern
+  std::string observed_b;  ///< deliveries at node 1
+  bool quiescent = false;
+  bool hit_event_limit = false;
+};
+TwoNodeObservation two_node_observation(const AutomatonFactory& factory,
+                                        std::uint64_t id_a,
+                                        std::uint64_t id_b,
+                                        std::uint64_t max_events = 1u << 20);
+
+}  // namespace colex::lb

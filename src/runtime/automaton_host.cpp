@@ -1,0 +1,74 @@
+#include "runtime/automaton_host.hpp"
+
+#include <thread>
+
+#include "util/contracts.hpp"
+
+namespace colex::rt {
+namespace {
+
+/// sim::Context implementation backed by the thread fabric's ports.
+class ThreadContext final : public sim::PulseContext {
+ public:
+  ThreadContext(NodeIo& io, sim::NodeId self) : io_(io), self_(self) {}
+
+  sim::NodeId self() const override { return self_; }
+  std::size_t queued(sim::Port p) const override { return io_.pending(p); }
+  std::optional<sim::Pulse> recv(sim::Port p) override {
+    if (!io_.recv(p)) return std::nullopt;
+    return sim::Pulse{};
+  }
+  using sim::PulseContext::send;
+  void send(sim::Port p, sim::Pulse) override { io_.send(p); }
+
+ private:
+  NodeIo& io_;
+  sim::NodeId self_;
+};
+
+}  // namespace
+
+HostRunResult run_automata_on_threads(std::size_t n,
+                                      const std::vector<bool>& port_flips,
+                                      const HostFactory& factory,
+                                      std::uint64_t timeout_ms) {
+  COLEX_EXPECTS(n >= 1);
+  ThreadRing ring(n, port_flips);
+
+  HostRunResult result;
+  result.automata.reserve(n);
+  for (sim::NodeId v = 0; v < n; ++v) {
+    auto automaton = factory(v);
+    COLEX_EXPECTS(automaton != nullptr);
+    result.automata.push_back(std::move(automaton));
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (sim::NodeId v = 0; v < n; ++v) {
+    workers.emplace_back([&ring, &result, v] {
+      NodeIo io = ring.io(v);
+      ThreadContext ctx(io, v);
+      auto& automaton = *result.automata[v];
+      automaton.start(ctx);
+      automaton.react(ctx);
+      while (!automaton.terminated()) {
+        if (!io.wait_any()) break;  // harness stop: quiescence or timeout
+        automaton.react(ctx);
+      }
+      ring.worker_finished();
+    });
+  }
+
+  result.completed = ring.monitor(timeout_ms);
+  for (auto& w : workers) w.join();
+
+  result.pulses = ring.total_sent();
+  result.all_terminated = true;
+  for (const auto& automaton : result.automata) {
+    if (!automaton->terminated()) result.all_terminated = false;
+  }
+  return result;
+}
+
+}  // namespace colex::rt

@@ -1,0 +1,41 @@
+// Runs arbitrary event-driven pulse automata (the same objects the discrete
+// simulator hosts) on real OS threads: one thread per node, reacting
+// whenever a pulse lands on one of its ports. Because sim::Context is an
+// abstract interface, the exact same algorithm objects — Algorithm 1/2/3,
+// the replication adapter, the token bus, even the full Corollary 5
+// composition — execute unmodified on genuine asynchrony.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/thread_ring.hpp"
+#include "sim/network.hpp"
+
+namespace colex::rt {
+
+/// Builds the automaton for ring position v.
+using HostFactory =
+    std::function<std::unique_ptr<sim::PulseAutomaton>(sim::NodeId v)>;
+
+struct HostRunResult {
+  /// The automata after the run, for state extraction (index = ring
+  /// position). Typed access via dynamic_cast, as with the simulator.
+  std::vector<std::unique_ptr<sim::PulseAutomaton>> automata;
+  std::uint64_t pulses = 0;
+  bool completed = false;       ///< natural termination or quiescence
+  bool all_terminated = false;  ///< every automaton reached terminated()
+};
+
+/// Spawns one thread per node and runs the automata until every node
+/// terminates, or the fabric reaches quiescence (detected by the harness
+/// monitor), or `timeout_ms` expires.
+HostRunResult run_automata_on_threads(std::size_t n,
+                                      const std::vector<bool>& port_flips,
+                                      const HostFactory& factory,
+                                      std::uint64_t timeout_ms = 30'000);
+
+}  // namespace colex::rt

@@ -1,0 +1,61 @@
+// Blocking-style transcriptions of the paper's pseudocode, line for line,
+// for execution on real threads (thread_ring.hpp). These are deliberately
+// written as loops over non-blocking recv calls — the exact shape of
+// Algorithms 1, 2 and 3 in the paper — with a blocking wait inserted only
+// where a loop iteration made no progress (which is where an event-driven
+// node would go back to sleep).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "co/alg3.hpp"
+#include "co/oriented.hpp"
+#include "co/roles.hpp"
+#include "runtime/thread_ring.hpp"
+
+namespace colex::rt {
+
+/// Per-node outcome of a blocking run.
+struct BlockingOutcome {
+  std::uint64_t id = 0;
+  co::Role role = co::Role::undecided;
+  co::PulseCounters counters;          ///< oriented algorithms
+  std::uint64_t rho_port[2] = {0, 0};  ///< Algorithm 3
+  std::uint64_t sigma_port[2] = {0, 0};
+  sim::Port cw_port = sim::Port::p1;   ///< Algorithm 3 orientation output
+  bool terminated = false;  ///< returned via the algorithm's own exit (Alg 2)
+  bool stopped = false;     ///< harness stop (quiescence) ended the run
+};
+
+/// Algorithm 1 on an oriented ring; runs until the harness signals
+/// quiescence (the algorithm itself never terminates).
+BlockingOutcome run_alg1_blocking(NodeIo io, std::uint64_t id);
+
+/// Algorithm 2 on an oriented ring; returns when the node terminates.
+BlockingOutcome run_alg2_blocking(NodeIo io, std::uint64_t id);
+
+/// Algorithm 3 on a (possibly scrambled) ring; runs until harness stop.
+BlockingOutcome run_alg3_blocking(NodeIo io, std::uint64_t id,
+                                  co::IdScheme scheme);
+
+/// Which algorithm a threaded run executes.
+enum class ThreadAlg { alg1, alg2, alg3_doubled, alg3_improved };
+
+struct ThreadRunResult {
+  std::vector<BlockingOutcome> outcomes;
+  std::uint64_t pulses = 0;       ///< total pulses sent on the fabric
+  bool completed = false;         ///< quiescence or natural termination
+  std::size_t leader_count = 0;
+  std::optional<sim::NodeId> leader;
+};
+
+/// Spawns one thread per node, runs `alg`, monitors for quiescence /
+/// termination, joins, and aggregates results. `port_flips` must be empty
+/// for the oriented algorithms.
+ThreadRunResult run_on_threads(const std::vector<std::uint64_t>& ids,
+                               const std::vector<bool>& port_flips,
+                               ThreadAlg alg,
+                               std::uint64_t timeout_ms = 30'000);
+
+}  // namespace colex::rt

@@ -1,0 +1,113 @@
+#include "runtime/thread_ring.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace colex::rt {
+
+bool NodeIo::recv(sim::Port p) { return ring_.recv(self_, p); }
+std::size_t NodeIo::pending(sim::Port p) const {
+  return ring_.pending(self_, p);
+}
+void NodeIo::send(sim::Port p) { ring_.send(self_, p); }
+bool NodeIo::wait_any() { return ring_.wait_any(self_); }
+
+ThreadRing::ThreadRing(std::size_t n, std::vector<bool> port_flips)
+    : nodes_(n) {
+  COLEX_EXPECTS(n >= 1);
+  COLEX_EXPECTS(port_flips.empty() || port_flips.size() == n);
+  auto flipped = [&port_flips](sim::NodeId v) {
+    return !port_flips.empty() && port_flips[v];
+  };
+  // Same layout as sim::Network<P>::ring: edge i attaches node i's Port1 to
+  // node i+1's Port0 in the oriented base, with per-node label flips.
+  for (sim::NodeId i = 0; i < n; ++i) {
+    const sim::NodeId j = (i + 1) % n;
+    const sim::Port from = flipped(i) ? sim::Port::p0 : sim::Port::p1;
+    const sim::Port to = flipped(j) ? sim::Port::p1 : sim::Port::p0;
+    nodes_[i].peer[sim::index(from)] = j;
+    nodes_[i].peer_port[sim::index(from)] = to;
+    nodes_[j].peer[sim::index(to)] = i;
+    nodes_[j].peer_port[sim::index(to)] = from;
+  }
+}
+
+bool ThreadRing::recv(sim::NodeId v, sim::Port p) {
+  auto& node = nodes_[v];
+  std::lock_guard<std::mutex> lock(node.mutex);
+  auto& q = node.pending[sim::index(p)];
+  if (q == 0) return false;
+  --q;
+  consumed_.fetch_add(1);
+  return true;
+}
+
+void ThreadRing::send(sim::NodeId v, sim::Port p) {
+  auto& self = nodes_[v];
+  const sim::NodeId to = self.peer[sim::index(p)];
+  const sim::Port to_port = self.peer_port[sim::index(p)];
+  auto& dest = nodes_[to];
+  {
+    std::lock_guard<std::mutex> lock(dest.mutex);
+    // sent_ is incremented inside the destination lock so that any observer
+    // seeing sent_ == consumed_ is guaranteed no pulse is pending anywhere.
+    sent_.fetch_add(1);
+    ++dest.pending[sim::index(to_port)];
+  }
+  dest.cv.notify_all();
+}
+
+std::size_t ThreadRing::pending(sim::NodeId v, sim::Port p) const {
+  const auto& node = nodes_[v];
+  std::lock_guard<std::mutex> lock(node.mutex);
+  return static_cast<std::size_t>(node.pending[sim::index(p)]);
+}
+
+bool ThreadRing::wait_any(sim::NodeId v) {
+  auto& node = nodes_[v];
+  std::unique_lock<std::mutex> lock(node.mutex);
+  if (node.pending[0] != 0 || node.pending[1] != 0) return true;
+  if (stop_.load()) return false;
+  idle_.fetch_add(1);
+  node.cv.wait(lock, [&node, this] {
+    return node.pending[0] != 0 || node.pending[1] != 0 || stop_.load();
+  });
+  idle_.fetch_sub(1);
+  return node.pending[0] != 0 || node.pending[1] != 0;
+}
+
+void ThreadRing::broadcast_stop() {
+  stop_.store(true);
+  for (auto& node : nodes_) {
+    std::lock_guard<std::mutex> lock(node.mutex);
+    node.cv.notify_all();
+  }
+}
+
+bool ThreadRing::monitor(std::uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const std::size_t n = nodes_.size();
+  for (;;) {
+    if (finished_.load() == n) return true;  // natural termination
+    const bool maybe_quiescent = idle_.load() + finished_.load() == n &&
+                                 sent_.load() == consumed_.load();
+    if (maybe_quiescent) {
+      // Double-scan: re-observe after a pause to ride out races between a
+      // send and the receiver waking up.
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      if (idle_.load() + finished_.load() == n &&
+          sent_.load() == consumed_.load()) {
+        broadcast_stop();
+        return true;
+      }
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      broadcast_stop();
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+}  // namespace colex::rt

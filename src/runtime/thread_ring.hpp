@@ -1,0 +1,106 @@
+// A real-thread runtime for the fully defective ring: one OS thread per
+// node, mutex+condition-variable pulse ports, genuine (hardware/OS-induced)
+// asynchrony. The algorithms run here are the *blocking-style* literal
+// transcriptions of the paper's pseudocode (blocking_algs.hpp), in contrast
+// to the event-driven automata used on the discrete simulator — running the
+// same pseudocode through two independent execution models and comparing
+// outcomes exactly is one of this repository's main validation tools.
+//
+// Quiescence detection (for the stabilizing algorithms, which never
+// terminate on their own) is performed by the *harness*, not the nodes:
+// a monitor thread observes "all threads blocked on empty ports" plus
+// "globally sent == consumed" — the standard counter-based distributed
+// termination-detection argument, executed with shared-memory atomics. This
+// mirrors what the omniscient simulator does and is test instrumentation,
+// never part of the algorithms.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/contracts.hpp"
+
+namespace colex::rt {
+
+class ThreadRing;
+
+/// The port interface a blocking algorithm sees: non-blocking receive,
+/// send, and a blocking wait for the next pulse (which the harness can
+/// interrupt once global quiescence is certain).
+class NodeIo {
+ public:
+  /// Consume one pulse from the incoming queue of `p` if available.
+  bool recv(sim::Port p);
+
+  /// Send one pulse out of port `p`.
+  void send(sim::Port p);
+
+  /// Block until a pulse is available on either port. Returns false when
+  /// the harness has signalled stop (global quiescence / timeout); the
+  /// algorithm should then finalize its current state.
+  bool wait_any();
+
+  /// Pulses delivered to port `p` and not yet consumed.
+  std::size_t pending(sim::Port p) const;
+
+ private:
+  friend class ThreadRing;
+  NodeIo(ThreadRing& ring, sim::NodeId self) : ring_(ring), self_(self) {}
+  ThreadRing& ring_;
+  sim::NodeId self_;
+};
+
+/// Shared pulse fabric for an n-node ring (oriented or port-scrambled).
+class ThreadRing {
+ public:
+  explicit ThreadRing(std::size_t n, std::vector<bool> port_flips = {});
+
+  std::size_t size() const { return nodes_.size(); }
+  NodeIo io(sim::NodeId v) { return NodeIo(*this, v); }
+
+  std::uint64_t total_sent() const { return sent_.load(); }
+  std::uint64_t total_consumed() const { return consumed_.load(); }
+  bool stopped() const { return stop_.load(); }
+
+  /// Worker bookkeeping: a worker thread calls this when its algorithm
+  /// function returns.
+  void worker_finished() { finished_.fetch_add(1); }
+
+  /// Runs the monitor loop in the calling thread until either all `n`
+  /// workers finished naturally, or quiescence is detected / the timeout
+  /// expires (then `stop` is broadcast so blocked workers return). Returns
+  /// true if stopping was due to quiescence or natural termination, false
+  /// on timeout.
+  bool monitor(std::uint64_t timeout_ms);
+
+ private:
+  friend class NodeIo;
+
+  struct Node {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::uint64_t pending[2] = {0, 0};  // pulses queued per port
+    // Wiring: sending out of port p delivers to peer[p] at peer_port[p].
+    sim::NodeId peer[2] = {0, 0};
+    sim::Port peer_port[2] = {sim::Port::p0, sim::Port::p0};
+  };
+
+  bool recv(sim::NodeId v, sim::Port p);
+  void send(sim::NodeId v, sim::Port p);
+  bool wait_any(sim::NodeId v);
+  std::size_t pending(sim::NodeId v, sim::Port p) const;
+  void broadcast_stop();
+
+  std::vector<Node> nodes_;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<std::size_t> idle_{0};
+  std::atomic<std::size_t> finished_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace colex::rt

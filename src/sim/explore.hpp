@@ -1,0 +1,78 @@
+// Exhaustive schedule exploration ("model checking" the adversary): for
+// small configurations, enumerate EVERY delivery order the asynchronous
+// adversary could choose and validate each complete execution.
+//
+// The execution tree is explored by deterministic replay: a schedule prefix
+// (sequence of channel choices) is re-run from the initial state with
+// ReplayScheduler, the set of pending channels at the frontier is read off,
+// and the explorer branches on each choice. A leaf is a quiescent
+// execution. Exponential, of course — use it where the tree is small (the
+// repository uses it for n <= 3 rings, up to ~10^5 schedules) and rely on
+// the seeded-adversary sweeps beyond that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "util/contracts.hpp"
+
+namespace colex::sim {
+
+struct ExploreStats {
+  std::uint64_t leaves = 0;      ///< complete (quiescent) executions seen
+  std::uint64_t truncated = 0;   ///< subtrees skipped when budget ran out
+  std::uint64_t max_depth = 0;   ///< deliveries on the deepest path
+  bool exhaustive() const { return truncated == 0; }
+};
+
+/// Enumerates every schedule of the network produced by `build` and calls
+/// `on_leaf` on each quiescent terminal state. `budget` caps the number of
+/// replays (one per tree node); exceeding it marks subtrees truncated.
+inline ExploreStats explore_all_schedules(
+    const std::function<PulseNetwork()>& build,
+    const std::function<void(PulseNetwork&)>& on_leaf,
+    std::uint64_t budget = 1'000'000) {
+  COLEX_EXPECTS(budget > 0);
+  ExploreStats stats;
+  std::vector<std::size_t> prefix;
+
+  std::function<void()> recurse = [&]() {
+    if (budget == 0) {
+      ++stats.truncated;
+      return;
+    }
+    --budget;
+    auto net = build();
+    ReplayScheduler replay(prefix);
+    RunOptions opts;
+    opts.max_events = prefix.size();
+    net.run(replay, opts);
+    COLEX_ASSERT(replay.divergences() == 0);
+
+    std::vector<std::size_t> pending;
+    for (std::size_t c = 0; c < net.channel_count(); ++c) {
+      if (net.channel_pending(c) > 0) pending.push_back(c);
+    }
+    if (pending.empty()) {
+      ++stats.leaves;
+      stats.max_depth =
+          std::max(stats.max_depth,
+                   static_cast<std::uint64_t>(prefix.size()));
+      on_leaf(net);
+      return;
+    }
+    for (const std::size_t c : pending) {
+      prefix.push_back(c);
+      recurse();
+      prefix.pop_back();
+      if (budget == 0) return;
+    }
+  };
+  recurse();
+  return stats;
+}
+
+}  // namespace colex::sim

@@ -1,0 +1,490 @@
+// The asynchronous ring network of the content-oblivious model (paper §2),
+// as a discrete-event simulation.
+//
+// Design notes
+// ------------
+// * The network is templated over the channel payload. The paper's fully
+//   defective model uses `Pulse` (empty payload: all content erased by
+//   noise); the classical baselines in src/baselines reuse the identical
+//   machinery with content-carrying payloads, which makes the comparison
+//   experiments apples-to-apples.
+// * Channels are per-direction FIFO. For indistinguishable pulses this is
+//   without loss of generality; cross-channel interleaving is controlled by
+//   a Scheduler (see scheduler.hpp), which is where all adversarial
+//   asynchrony lives.
+// * Nodes are event-driven (paper §2): they act once at start and afterwards
+//   only when a pulse is delivered. A delivery pushes the payload into the
+//   destination node's per-port incoming queue and triggers `react`, which
+//   runs the node's algorithm to local completion (the paper presents
+//   algorithms as loops over non-blocking recv calls; `react` executes loop
+//   iterations until no further local progress is possible). Unconsumed
+//   queued pulses — e.g. CCW pulses that Algorithm 2 refuses to read until
+//   rho_cw >= ID — simply wait in the queue; the paper counts them as still
+//   "in transit" (footnote 2), and so do we.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/types.hpp"
+#include "util/contracts.hpp"
+
+namespace colex::sim {
+
+template <typename P>
+class Network;
+
+/// The interface an algorithm uses to talk to the network. Deliberately
+/// minimal: non-blocking receive per port, send per port, own id. Content
+/// obliviousness is enforced by the payload type, not the interface. The
+/// interface is abstract so that adapters (e.g. the Section 1.1 replication
+/// transformation, co::ReplicatedAdapter) can interpose on a node's I/O.
+template <typename P>
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual NodeId self() const = 0;
+
+  /// Number of delivered-but-unconsumed payloads waiting at `p`.
+  virtual std::size_t queued(Port p) const = 0;
+
+  /// Consume one payload from the incoming queue of `p`, if available.
+  virtual std::optional<P> recv(Port p) = 0;
+
+  /// Send one payload through port `p`.
+  virtual void send(Port p, P payload) = 0;
+
+  /// Convenience overloads for pulse networks.
+  void send(Port p) { send(p, P{}); }
+  bool recv_pulse(Port p) { return recv(p).has_value(); }
+};
+
+/// The Context implementation backed directly by a Network.
+template <typename P>
+class NetworkContext final : public Context<P> {
+ public:
+  NetworkContext(Network<P>& net, NodeId self) : net_(net), self_(self) {}
+
+  NodeId self() const override { return self_; }
+  std::size_t queued(Port p) const override {
+    return net_.inbox_size(self_, p);
+  }
+  std::optional<P> recv(Port p) override { return net_.consume(self_, p); }
+  using Context<P>::send;
+  void send(Port p, P payload) override {
+    net_.send_from(self_, p, std::move(payload));
+  }
+
+ private:
+  Network<P>& net_;
+  NodeId self_;
+};
+
+/// An event-driven node algorithm.
+template <typename P>
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  /// Called exactly once, before any delivery is reacted to.
+  virtual void start(Context<P>& ctx) = 0;
+
+  /// Called after one payload has been enqueued at this node (and at start
+  /// time right after `start`). Must run the algorithm until no further
+  /// local progress is possible without new input.
+  virtual void react(Context<P>& ctx) = 0;
+
+  /// True once the node has entered a terminating state. Terminated nodes
+  /// ignore all further deliveries (the runner records such deliveries as
+  /// model violations — they never happen for quiescently terminating
+  /// algorithms).
+  virtual bool terminated() const { return false; }
+};
+
+/// What happened during a run (see `run_to_quiescence`).
+struct RunReport {
+  bool quiescent = false;       ///< no pulses in flight nor queued unconsumed
+  bool stalled = false;         ///< no pulses in flight, but queued leftovers
+  bool all_terminated = false;  ///< every automaton reports terminated()
+  bool hit_event_limit = false;
+  std::uint64_t sent = 0;        ///< total payloads sent during the run
+  std::uint64_t deliveries = 0;  ///< channel->inbox handoffs performed
+  std::uint64_t deliveries_to_terminated = 0;  ///< model violations
+};
+
+/// Options for the runner.
+template <typename P>
+struct BasicRunOptions {
+  std::uint64_t max_events = 50'000'000;
+  /// If true, node starts are interleaved (pseudo)randomly with deliveries,
+  /// rather than all happening up front. A node that is delivered a payload
+  /// before its scheduled spontaneous start is started lazily at that
+  /// moment, exactly like an event-driven node waking up on its first event.
+  bool interleave_starts = false;
+  std::uint64_t interleave_seed = 1;
+  /// Invoked after every start/delivery event with the network; property
+  /// tests use this to assert invariants at every step, and fault-injection
+  /// tests use it to tamper with channels mid-run.
+  std::function<void(Network<P>&)> on_event;
+  /// Invoked at each delivery, before the destination reacts, with the
+  /// destination node and in-port. Used to record delivery traces (e.g.
+  /// solitude patterns, Definition 21).
+  std::function<void(NodeId, Port, Direction)> on_deliver;
+};
+
+/// Runner options for the fully defective (pulse) network.
+using RunOptions = BasicRunOptions<Pulse>;
+
+template <typename P>
+class Network {
+ public:
+  /// Builds a ring of `n` nodes. `port_flips[v]` swaps node v's port labels,
+  /// producing a non-oriented ring; an empty vector means oriented. Supports
+  /// n = 1 (self-loop: a node's Port1 connects to its own Port0) and n = 2
+  /// (two parallel edges) as first-class citizens.
+  static Network ring(std::size_t n, std::vector<bool> port_flips = {}) {
+    COLEX_EXPECTS(n >= 1);
+    COLEX_EXPECTS(port_flips.empty() || port_flips.size() == n);
+    Network net;
+    net.nodes_.resize(n);
+    net.channels_.reserve(2 * n);
+    auto flipped = [&port_flips](NodeId v) {
+      return !port_flips.empty() && port_flips[v];
+    };
+    for (NodeId i = 0; i < n; ++i) {
+      const NodeId j = (i + 1) % n;
+      // In the oriented base layout, edge i attaches to node i's Port1 and
+      // node j's Port0; a flip swaps the labels at that node.
+      const Port from_port = flipped(i) ? Port::p0 : Port::p1;
+      const Port to_port = flipped(j) ? Port::p1 : Port::p0;
+      net.add_channel(i, from_port, j, to_port, Direction::cw);
+      net.add_channel(j, to_port, i, from_port, Direction::ccw);
+    }
+    return net;
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+
+  void set_automaton(NodeId v, std::unique_ptr<Automaton<P>> a) {
+    COLEX_EXPECTS(v < nodes_.size());
+    nodes_[v].automaton = std::move(a);
+  }
+
+  Automaton<P>& automaton(NodeId v) {
+    COLEX_EXPECTS(v < nodes_.size() && nodes_[v].automaton != nullptr);
+    return *nodes_[v].automaton;
+  }
+
+  const Automaton<P>& automaton(NodeId v) const {
+    COLEX_EXPECTS(v < nodes_.size() && nodes_[v].automaton != nullptr);
+    return *nodes_[v].automaton;
+  }
+
+  /// Typed access to a node's algorithm, for tests and result extraction.
+  template <typename T>
+  T& automaton_as(NodeId v) {
+    auto* p = dynamic_cast<T*>(&automaton(v));
+    COLEX_EXPECTS(p != nullptr);
+    return *p;
+  }
+
+  template <typename T>
+  const T& automaton_as(NodeId v) const {
+    const auto* p = dynamic_cast<const T*>(&automaton(v));
+    COLEX_EXPECTS(p != nullptr);
+    return *p;
+  }
+
+  // --- accounting (ground truth, independent of algorithm counters) ------
+
+  std::uint64_t total_sent() const { return total_sent_; }
+
+  /// Payloads sent but not yet consumed by the destination algorithm;
+  /// includes delivered-but-queued payloads (paper footnote 2).
+  std::uint64_t in_transit() const { return total_sent_ - total_consumed_; }
+
+  /// In-flight on channels only (sent, not yet handed to an inbox).
+  std::uint64_t in_flight() const { return total_sent_ - total_delivered_; }
+
+  std::size_t inbox_size(NodeId v, Port p) const {
+    return nodes_[v].inbox[index(p)].size();
+  }
+
+  std::uint64_t consumed(NodeId v, Port p) const {
+    return nodes_[v].consumed[index(p)];
+  }
+
+  /// Whether node v has performed its start action yet (false only while
+  /// interleaved starts are pending or other nodes' starts are in flight).
+  bool started(NodeId v) const { return nodes_[v].started; }
+
+  std::uint64_t channel_count() const { return channels_.size(); }
+
+  Direction channel_direction(std::size_t c) const {
+    return channels_[c].dir;
+  }
+
+  /// Pulses currently in flight on channel `c` (used by the exhaustive
+  /// schedule explorer to enumerate the adversary's choices).
+  std::size_t channel_pending(std::size_t c) const {
+    return channels_[c].items.size();
+  }
+
+  bool quiescent() const { return in_transit() == 0; }
+
+  // --- model-violation injection (test-only adversary beyond the model) ---
+
+  /// Injects a payload that nobody sent into channel `c`. The paper's model
+  /// forbids this; tests use it to show the algorithms' invariants detect it.
+  void inject_fault(std::size_t c, P payload = P{}) {
+    COLEX_EXPECTS(c < channels_.size());
+    channels_[c].items.push_back(Item{std::move(payload), next_seq_++, stamp_});
+    mark_nonempty(c);
+    ++total_sent_;  // keep conservation accounting consistent for delivery
+    ++injected_;
+  }
+
+  /// Drops the head payload of channel `c` (model forbids message loss).
+  void drop_fault(std::size_t c) {
+    COLEX_EXPECTS(c < channels_.size() && !channels_[c].items.empty());
+    channels_[c].items.pop_front();
+    unmark_if_empty(c);
+    ++dropped_;
+    // The dropped payload will never be delivered or consumed; account for
+    // it so in_transit() reflects what can still move.
+    --total_sent_;
+  }
+
+  std::uint64_t injected() const { return injected_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Observer invoked at every send with (sender, out-port, direction).
+  /// Used by sim::TraceRecorder; injected faults are deliberately NOT
+  /// reported (nobody sent them), so trace audits catch them.
+  void set_send_observer(
+      std::function<void(NodeId, Port, Direction)> observer) {
+    send_observer_ = std::move(observer);
+  }
+
+  // --- used by Context ----------------------------------------------------
+
+  void send_from(NodeId v, Port p, P payload) {
+    auto& node = nodes_[v];
+    const std::size_t c = node.out_channel[index(p)];
+    channels_[c].items.push_back(Item{std::move(payload), next_seq_++, stamp_});
+    mark_nonempty(c);
+    ++total_sent_;
+    if (send_observer_) send_observer_(v, p, channels_[c].dir);
+  }
+
+  std::optional<P> consume(NodeId v, Port p) {
+    auto& q = nodes_[v].inbox[index(p)];
+    if (q.empty()) return std::nullopt;
+    P payload = std::move(q.front());
+    q.pop_front();
+    ++nodes_[v].consumed[index(p)];
+    ++total_consumed_;
+    return payload;
+  }
+
+  // --- the runner ----------------------------------------------------------
+
+  RunReport run(Scheduler& scheduler, const BasicRunOptions<P>& opts = {}) {
+    RunReport report;
+    util::Xoshiro256StarStar interleave_rng(opts.interleave_seed);
+
+    std::vector<NodeId> unstarted;
+    unstarted.reserve(nodes_.size());
+    for (NodeId v = nodes_.size(); v-- > 0;) unstarted.push_back(v);
+
+    auto do_start = [&](NodeId v) {
+      NetworkContext<P> ctx(*this, v);
+      ++stamp_;
+      nodes_[v].started = true;
+      nodes_[v].automaton->start(ctx);
+      nodes_[v].automaton->react(ctx);
+      if (opts.on_event) opts.on_event(*this);
+    };
+    auto start_specific = [&](NodeId v) {
+      for (std::size_t k = 0; k < unstarted.size(); ++k) {
+        if (unstarted[k] == v) {
+          unstarted.erase(unstarted.begin() + static_cast<std::ptrdiff_t>(k));
+          do_start(v);
+          return;
+        }
+      }
+      COLEX_ASSERT(false);  // start_specific called for a started node
+    };
+
+    if (!opts.interleave_starts) {
+      while (!unstarted.empty()) {
+        const NodeId v = unstarted.back();
+        unstarted.pop_back();
+        do_start(v);
+      }
+    }
+
+    std::uint64_t events = 0;
+    std::vector<ChannelView> pending;
+    for (;;) {
+      if (events >= opts.max_events) {
+        report.hit_event_limit = true;
+        break;
+      }
+      // Optionally interleave a spontaneous node start with deliveries.
+      if (!unstarted.empty() &&
+          (in_flight() == 0 || interleave_rng.bernoulli(0.5))) {
+        const std::size_t k = interleave_rng.below(unstarted.size());
+        const NodeId v = unstarted[k];
+        unstarted.erase(unstarted.begin() + static_cast<std::ptrdiff_t>(k));
+        do_start(v);
+        ++events;
+        continue;
+      }
+
+      pending.clear();
+      for (const std::size_t c : nonempty_) {
+        const auto& ch = channels_[c];
+        pending.push_back(ChannelView{c, ch.items.size(), ch.items.front().seq,
+                                      ch.items.front().stamp, ch.dir});
+      }
+      if (pending.empty()) break;
+
+      const std::size_t c = scheduler.pick(pending);
+      COLEX_ASSERT(c < channels_.size() && !channels_[c].items.empty());
+      deliver(c, report, start_specific, unstarted, opts);
+      ++events;
+    }
+
+    report.sent = total_sent_;
+    report.quiescent = in_transit() == 0 && !report.hit_event_limit;
+    report.stalled = !report.quiescent && in_flight() == 0 &&
+                     !report.hit_event_limit && unstarted.empty();
+    report.all_terminated = true;
+    for (const auto& node : nodes_) {
+      if (node.automaton == nullptr || !node.automaton->terminated()) {
+        report.all_terminated = false;
+        break;
+      }
+    }
+    return report;
+  }
+
+ private:
+  struct Item {
+    P payload;
+    std::uint64_t seq;
+    std::uint64_t stamp;
+  };
+  struct ChannelState {
+    NodeId from_node{};
+    Port from_port{};
+    NodeId to_node{};
+    Port to_port{};
+    Direction dir{};
+    std::deque<Item> items;
+    std::size_t nonempty_pos = kNoPos;  // index into nonempty_, or kNoPos
+  };
+  struct NodeState {
+    std::unique_ptr<Automaton<P>> automaton;
+    std::size_t out_channel[2] = {0, 0};
+    std::deque<P> inbox[2];
+    std::uint64_t consumed[2] = {0, 0};
+    bool started = false;
+  };
+
+  void add_channel(NodeId from, Port fp, NodeId to, Port tp, Direction dir) {
+    ChannelState ch;
+    ch.from_node = from;
+    ch.from_port = fp;
+    ch.to_node = to;
+    ch.to_port = tp;
+    ch.dir = dir;
+    nodes_[from].out_channel[index(fp)] = channels_.size();
+    channels_.push_back(std::move(ch));
+  }
+
+  template <typename StartSpecificFn>
+  void deliver(std::size_t c, RunReport& report,
+               StartSpecificFn& start_specific, std::vector<NodeId>& unstarted,
+               const BasicRunOptions<P>& opts) {
+    auto& ch = channels_[c];
+    Item item = std::move(ch.items.front());
+    ch.items.pop_front();
+    unmark_if_empty(c);
+    ++total_delivered_;
+    ++report.deliveries;
+    if (opts.on_deliver) opts.on_deliver(ch.to_node, ch.to_port, ch.dir);
+
+    const NodeId v = ch.to_node;
+    auto& node = nodes_[v];
+    if (node.automaton->terminated()) {
+      // Terminated nodes ignore pulses (paper §2). Consume into the void and
+      // record the violation: quiescently terminating algorithms never let
+      // this happen.
+      ++report.deliveries_to_terminated;
+      ++total_consumed_;
+      if (opts.on_event) opts.on_event(*this);
+      return;
+    }
+    node.inbox[index(ch.to_port)].push_back(std::move(item.payload));
+    if (!node.started) {
+      // Event-driven wake-up: the node's first event is this delivery, so it
+      // performs its start action now, then reacts to the queue.
+      COLEX_ASSERT(!unstarted.empty());
+      start_specific(v);
+      return;  // start_specific already reacted and fired on_event
+    }
+    NetworkContext<P> ctx(*this, v);
+    ++stamp_;
+    node.automaton->react(ctx);
+    if (opts.on_event) opts.on_event(*this);
+  }
+
+  // Incremental index of channels with pulses in flight, so each runner
+  // step costs O(#nonempty channels) instead of O(#channels).
+  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+  void mark_nonempty(std::size_t c) {
+    auto& ch = channels_[c];
+    if (ch.nonempty_pos != kNoPos) return;
+    ch.nonempty_pos = nonempty_.size();
+    nonempty_.push_back(c);
+  }
+
+  void unmark_if_empty(std::size_t c) {
+    auto& ch = channels_[c];
+    if (!ch.items.empty() || ch.nonempty_pos == kNoPos) return;
+    const std::size_t pos = ch.nonempty_pos;
+    const std::size_t moved = nonempty_.back();
+    nonempty_[pos] = moved;
+    channels_[moved].nonempty_pos = pos;
+    nonempty_.pop_back();
+    ch.nonempty_pos = kNoPos;
+  }
+
+  std::vector<NodeState> nodes_;
+  std::vector<ChannelState> channels_;
+  std::vector<std::size_t> nonempty_;
+  std::function<void(NodeId, Port, Direction)> send_observer_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t stamp_ = 0;  // event step counter; sends in one react share it
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t total_consumed_ = 0;
+  std::uint64_t injected_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The fully defective network of the paper: channels carry only pulses.
+using PulseNetwork = Network<Pulse>;
+using PulseContext = Context<Pulse>;
+using PulseAutomaton = Automaton<Pulse>;
+
+}  // namespace colex::sim

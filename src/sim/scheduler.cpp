@@ -1,0 +1,185 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace colex::sim {
+
+std::size_t GlobalFifoScheduler::pick(const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  const auto it = std::min_element(
+      pending.begin(), pending.end(),
+      [](const ChannelView& a, const ChannelView& b) {
+        return a.head_seq < b.head_seq;
+      });
+  return it->channel;
+}
+
+std::size_t GlobalLifoScheduler::pick(const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  const auto it = std::max_element(
+      pending.begin(), pending.end(),
+      [](const ChannelView& a, const ChannelView& b) {
+        return a.head_seq < b.head_seq;
+      });
+  return it->channel;
+}
+
+std::size_t RandomScheduler::pick(const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  return pending[rng_.below(pending.size())].channel;
+}
+
+std::string RandomScheduler::name() const {
+  return "random-" + std::to_string(seed_);
+}
+
+std::size_t RoundRobinScheduler::pick(const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  // Smallest channel id strictly greater than last_, wrapping around.
+  const ChannelView* best = nullptr;
+  const ChannelView* smallest = nullptr;
+  for (const auto& v : pending) {
+    if (smallest == nullptr || v.channel < smallest->channel) smallest = &v;
+    if (v.channel > last_ && (best == nullptr || v.channel < best->channel)) {
+      best = &v;
+    }
+  }
+  const ChannelView* chosen = best != nullptr ? best : smallest;
+  last_ = chosen->channel;
+  return chosen->channel;
+}
+
+std::size_t DrainChannelScheduler::pick(
+    const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  for (const auto& v : pending) {
+    if (v.channel == current_) return current_;
+  }
+  const auto it = std::max_element(
+      pending.begin(), pending.end(),
+      [](const ChannelView& a, const ChannelView& b) {
+        if (a.pending != b.pending) return a.pending < b.pending;
+        return a.channel > b.channel;  // deterministic tie-break
+      });
+  current_ = it->channel;
+  return current_;
+}
+
+std::size_t StarveDirectionScheduler::pick(
+    const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  const ChannelView* preferred = nullptr;  // oldest pulse not in starved dir
+  const ChannelView* fallback = nullptr;   // oldest pulse overall
+  for (const auto& v : pending) {
+    if (fallback == nullptr || v.head_seq < fallback->head_seq) fallback = &v;
+    if (v.dir != starved_ &&
+        (preferred == nullptr || v.head_seq < preferred->head_seq)) {
+      preferred = &v;
+    }
+  }
+  return (preferred != nullptr ? preferred : fallback)->channel;
+}
+
+std::string StarveDirectionScheduler::name() const {
+  return std::string("starve-") + to_string(starved_);
+}
+
+std::size_t EclipseScheduler::pick(const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  const ChannelView* preferred = nullptr;
+  for (const auto& v : pending) {
+    if (v.channel == eclipsed_) continue;
+    if (preferred == nullptr || v.head_seq < preferred->head_seq) {
+      preferred = &v;
+    }
+  }
+  return preferred != nullptr ? preferred->channel : eclipsed_;
+}
+
+std::string EclipseScheduler::name() const {
+  return "eclipse-" + std::to_string(eclipsed_);
+}
+
+std::size_t BurstyScheduler::pick(const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  if (remaining_ > 0) {
+    for (const auto& v : pending) {
+      if (v.channel == current_) {
+        --remaining_;
+        return current_;
+      }
+    }
+  }
+  const auto& chosen = pending[rng_.below(pending.size())];
+  current_ = chosen.channel;
+  remaining_ = rng_.below(8);
+  return current_;
+}
+
+std::string BurstyScheduler::name() const {
+  return "bursty-" + std::to_string(seed_);
+}
+
+std::size_t SolitudeScheduler::pick(const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  // Order sent; ties (same event step) broken by CW priority (Definition 21).
+  const auto it = std::min_element(
+      pending.begin(), pending.end(),
+      [](const ChannelView& a, const ChannelView& b) {
+        if (a.head_stamp != b.head_stamp) return a.head_stamp < b.head_stamp;
+        const bool a_ccw = a.dir == Direction::ccw;
+        const bool b_ccw = b.dir == Direction::ccw;
+        if (a_ccw != b_ccw) return !a_ccw;
+        return a.head_seq < b.head_seq;
+      });
+  return it->channel;
+}
+
+std::size_t ReplayScheduler::pick(const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  if (cursor_ < tape_.size()) {
+    const std::size_t wanted = tape_[cursor_];
+    for (const auto& v : pending) {
+      if (v.channel == wanted) {
+        ++cursor_;
+        return wanted;
+      }
+    }
+    ++divergences_;
+    ++cursor_;
+  } else {
+    ++divergences_;
+  }
+  // Fallback: oldest pulse first.
+  const ChannelView* oldest = &pending.front();
+  for (const auto& v : pending) {
+    if (v.head_seq < oldest->head_seq) oldest = &v;
+  }
+  return oldest->channel;
+}
+
+std::vector<NamedScheduler> standard_schedulers(std::size_t random_instances,
+                                                std::uint64_t seed_base) {
+  std::vector<NamedScheduler> out;
+  auto add = [&out](std::unique_ptr<Scheduler> s) {
+    std::string n = s->name();
+    out.push_back(NamedScheduler{std::move(n), std::move(s)});
+  };
+  add(std::make_unique<GlobalFifoScheduler>());
+  add(std::make_unique<GlobalLifoScheduler>());
+  add(std::make_unique<RoundRobinScheduler>());
+  add(std::make_unique<DrainChannelScheduler>());
+  add(std::make_unique<StarveDirectionScheduler>(Direction::cw));
+  add(std::make_unique<StarveDirectionScheduler>(Direction::ccw));
+  add(std::make_unique<SolitudeScheduler>());
+  add(std::make_unique<EclipseScheduler>(0));
+  add(std::make_unique<BurstyScheduler>(seed_base));
+  for (std::size_t i = 0; i < random_instances; ++i) {
+    add(std::make_unique<RandomScheduler>(seed_base + i));
+  }
+  return out;
+}
+
+}  // namespace colex::sim

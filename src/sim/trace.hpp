@@ -1,0 +1,132 @@
+// Execution tracing: records every send and delivery of a run as a
+// structured event stream, and audits the stream against the model's
+// conservation laws (every delivery is preceded by a matching send on the
+// same channel; per-channel FIFO order; no channel ever over-delivers).
+// The audit is deliberately independent of the Network's own counters, so
+// it cross-checks the simulator itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace colex::sim {
+
+struct TraceEvent {
+  enum class Kind { send, deliver };
+  Kind kind = Kind::send;
+  NodeId node = 0;  ///< sender (send) or receiver (deliver)
+  Port port = Port::p0;
+  Direction dir = Direction::cw;  ///< physical direction of travel
+  std::uint64_t index = 0;        ///< position in the event stream
+};
+
+inline std::string to_string(const TraceEvent& e) {
+  std::ostringstream os;
+  os << "#" << e.index << " "
+     << (e.kind == TraceEvent::Kind::send ? "send" : "deliver") << " node="
+     << e.node << " port=" << sim::index(e.port) << " dir="
+     << to_string(e.dir);
+  return os.str();
+}
+
+/// Hooks into a run's options and collects the event stream.
+///
+///   TraceRecorder trace;
+///   sim::RunOptions opts;
+///   trace.attach(net, opts);         // chains any hooks already set
+///   net.run(scheduler, opts);
+///   trace.audit();                   // empty string == clean
+template <typename P>
+class BasicTraceRecorder {
+ public:
+  /// Wires this recorder into `net` and `opts`. Previously installed
+  /// on_deliver hooks (and the network's send observer) are preserved and
+  /// chained.
+  void attach(Network<P>& net, BasicRunOptions<P>& opts) {
+    auto previous_deliver = opts.on_deliver;
+    opts.on_deliver = [this, previous_deliver](NodeId v, Port p,
+                                               Direction d) {
+      events_.push_back(TraceEvent{TraceEvent::Kind::deliver, v, p, d,
+                                   static_cast<std::uint64_t>(
+                                       events_.size())});
+      if (previous_deliver) previous_deliver(v, p, d);
+    };
+    net.set_send_observer([this](NodeId v, Port p, Direction d) {
+      events_.push_back(TraceEvent{TraceEvent::Kind::send, v, p, d,
+                                   static_cast<std::uint64_t>(
+                                       events_.size())});
+    });
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  std::uint64_t sends() const {
+    std::uint64_t count = 0;
+    for (const auto& e : events_) {
+      if (e.kind == TraceEvent::Kind::send) ++count;
+    }
+    return count;
+  }
+
+  std::uint64_t deliveries() const {
+    return static_cast<std::uint64_t>(events_.size()) - sends();
+  }
+
+  /// Audits the stream against the model: at no point may a channel
+  /// (identified by sender node+port) have delivered more pulses than were
+  /// sent on it. Returns an empty string when clean, else a diagnostic.
+  /// `wiring(recv_node, recv_port)` must map a delivery endpoint back to
+  /// the sending endpoint; for the standard ring use `ring_wiring(net)`.
+  template <typename Wiring>
+  std::string audit(Wiring&& wiring) const {
+    std::map<std::pair<NodeId, int>, std::int64_t> balance;
+    for (const auto& e : events_) {
+      if (e.kind == TraceEvent::Kind::send) {
+        ++balance[{e.node, sim::index(e.port)}];
+      } else {
+        const auto from = wiring(e.node, e.port);
+        auto& b = balance[{from.first, sim::index(from.second)}];
+        if (b <= 0) {
+          return "channel from node " + std::to_string(from.first) +
+                 " port " + std::to_string(sim::index(from.second)) +
+                 " delivered more than it sent (event " +
+                 std::to_string(e.index) + ")";
+        }
+        --b;
+      }
+    }
+    return {};
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+using TraceRecorder = BasicTraceRecorder<Pulse>;
+
+/// Wiring function for the standard ring builder: maps a delivery endpoint
+/// (receiver node+port) to the sender endpoint on the same edge.
+inline auto ring_wiring(std::size_t n, const std::vector<bool>& flips = {}) {
+  return [n, flips](NodeId v, Port p) -> std::pair<NodeId, Port> {
+    auto flipped = [&flips](NodeId u) {
+      return !flips.empty() && flips[u];
+    };
+    // In the builder's layout, node v's "toward v+1" attachment is Port1
+    // unless flipped; receiving there means the sender is v+1 on its
+    // "toward v" attachment, and vice versa.
+    const Port toward_next = flipped(v) ? Port::p0 : Port::p1;
+    if (p == toward_next) {
+      const NodeId sender = (v + 1) % n;
+      return {sender, flipped(sender) ? Port::p1 : Port::p0};
+    }
+    const NodeId sender = (v + n - 1) % n;
+    return {sender, flipped(sender) ? Port::p0 : Port::p1};
+  };
+}
+
+}  // namespace colex::sim

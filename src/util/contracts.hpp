@@ -1,0 +1,43 @@
+// Contract-check macros in the style of the C++ Core Guidelines' Expects/Ensures
+// (I.6/I.8). Violations throw so that tests can assert on them; they are active
+// in all build types because every use guards a model invariant, not a hot path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace colex::util {
+
+/// Thrown when a precondition, postcondition, or internal invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace colex::util
+
+#define COLEX_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::colex::util::contract_fail("precondition", #cond, __FILE__,          \
+                                   __LINE__);                                \
+  } while (false)
+
+#define COLEX_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::colex::util::contract_fail("postcondition", #cond, __FILE__,         \
+                                   __LINE__);                                \
+  } while (false)
+
+#define COLEX_ASSERT(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::colex::util::contract_fail("invariant", #cond, __FILE__, __LINE__);  \
+  } while (false)

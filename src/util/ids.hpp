@@ -1,0 +1,67 @@
+// Generators for ring ID assignments, shared by tests, examples, and the
+// benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace colex::util {
+
+/// IDs 1..n in ring order.
+inline std::vector<std::uint64_t> dense_ids(std::size_t n) {
+  std::vector<std::uint64_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 1);
+  return ids;
+}
+
+/// Deterministic Fisher-Yates shuffle of `ids` by `seed`.
+inline std::vector<std::uint64_t> shuffled(std::vector<std::uint64_t> ids,
+                                           std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.below(i)]);
+  }
+  return ids;
+}
+
+/// `n` distinct IDs drawn uniformly from [1, max_id].
+inline std::vector<std::uint64_t> sparse_ids(std::size_t n,
+                                             std::uint64_t max_id,
+                                             std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(n);
+  while (ids.size() < n) {
+    const std::uint64_t candidate = rng.in_range(1, max_id);
+    if (std::find(ids.begin(), ids.end(), candidate) == ids.end()) {
+      ids.push_back(candidate);
+    }
+  }
+  return ids;
+}
+
+/// All 2^n port-flip assignments for an n-node ring.
+inline std::vector<std::vector<bool>> all_flip_masks(std::size_t n) {
+  std::vector<std::vector<bool>> masks;
+  masks.reserve(std::size_t{1} << n);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    std::vector<bool> flips(n);
+    for (std::size_t v = 0; v < n; ++v) flips[v] = (mask >> v) & 1;
+    masks.push_back(std::move(flips));
+  }
+  return masks;
+}
+
+/// Random port flips by seed.
+inline std::vector<bool> random_flips(std::size_t n, std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<bool> flips(n);
+  for (std::size_t v = 0; v < n; ++v) flips[v] = rng.bernoulli(0.5);
+  return flips;
+}
+
+}  // namespace colex::util

@@ -1,0 +1,40 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace colex::util {
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t bound) {
+  COLEX_EXPECTS(bound != 0);
+  // Classic unbiased rejection sampling: draw until the value falls below
+  // the largest multiple of `bound`. At most one retry in expectation.
+  const std::uint64_t limit = ~0ULL - (~0ULL % bound + 1) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r <= limit) return r % bound;
+  }
+}
+
+std::uint64_t Xoshiro256StarStar::in_range(std::uint64_t lo, std::uint64_t hi) {
+  COLEX_EXPECTS(lo <= hi);
+  return lo + below(hi - lo + 1);
+}
+
+double Xoshiro256StarStar::uniform01() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256StarStar::geometric_trials(double q) {
+  COLEX_EXPECTS(q > 0.0 && q <= 1.0);
+  if (q == 1.0) return 1;
+  // Inversion: X = ceil(ln(U) / ln(1-q)), U uniform in (0,1].
+  double u = 1.0 - uniform01();  // (0, 1]
+  double x = std::ceil(std::log(u) / std::log(1.0 - q));
+  if (x < 1.0) x = 1.0;
+  return static_cast<std::uint64_t>(x);
+}
+
+}  // namespace colex::util

@@ -1,0 +1,85 @@
+// Deterministic, seedable random number generation.
+//
+// The simulator and the randomized algorithms (Algorithm 4, Itai-Rodeh) must
+// be exactly reproducible from a seed, so we implement small, well-known
+// generators (SplitMix64 for seeding, xoshiro256** for streams) instead of
+// relying on the implementation-defined std::mt19937_64 jump behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace colex::util {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used to expand a single 64-bit seed
+/// into the larger state of xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman, Vigna 2018). All-purpose 64-bit generator with
+/// 256-bit state; passes BigCrush. Satisfies UniformRandomBitGenerator.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t in_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Number of i.i.d. Bernoulli(q) trials up to and including the first
+  /// success; support {1, 2, ...}. This is the Geo(q) convention used by the
+  /// paper's Algorithm 4: P(X > x) = (1-q)^x.
+  std::uint64_t geometric_trials(double q);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace colex::util

@@ -1,0 +1,40 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace colex::util {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  COLEX_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.empty()) return 0.0;
+  const auto n = sorted.size();
+  auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1
+                 ? std::sqrt(var / static_cast<double>(s.count - 1))
+                 : 0.0;
+  s.p50 = percentile_sorted(samples, 0.50);
+  s.p95 = percentile_sorted(samples, 0.95);
+  return s;
+}
+
+}  // namespace colex::util

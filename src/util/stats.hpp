@@ -1,0 +1,27 @@
+// Summary statistics used by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace colex::util {
+
+/// Online/offline summary of a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes a full summary of `samples`. Percentiles use the nearest-rank
+/// method. An empty sample yields an all-zero summary.
+Summary summarize(std::vector<double> samples);
+
+/// Nearest-rank percentile of a *sorted* sample; `q` in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace colex::util

@@ -1,0 +1,38 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/ids.hpp"
+
+namespace colex::test {
+
+using util::all_flip_masks;
+using util::dense_ids;
+using util::random_flips;
+using util::shuffled;
+using util::sparse_ids;
+
+/// Name list of the standard scheduler suite, for parameterized tests.
+inline std::vector<std::string> standard_scheduler_names(
+    std::size_t random_instances) {
+  std::vector<std::string> names;
+  for (auto& s : sim::standard_schedulers(random_instances)) {
+    names.push_back(s.name);
+  }
+  return names;
+}
+
+/// Builds a fresh scheduler by name from the standard suite.
+inline std::unique_ptr<sim::Scheduler> make_scheduler(
+    const std::string& name, std::size_t random_instances) {
+  for (auto& s : sim::standard_schedulers(random_instances)) {
+    if (s.name == name) return std::move(s.scheduler);
+  }
+  return nullptr;
+}
+
+}  // namespace colex::test

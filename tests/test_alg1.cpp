@@ -1,0 +1,324 @@
+// Tests for Algorithm 1 (stabilizing leader election on oriented rings),
+// including the paper's Lemma 6 / 7 / 11 / Corollary 13 / 14 invariants and
+// the non-unique-ID extension of Lemma 16.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "co/alg1.hpp"
+#include "co/election.hpp"
+#include "helpers.hpp"
+#include "sim/network.hpp"
+
+namespace colex::co {
+namespace {
+
+sim::PulseNetwork make_alg1_ring(const std::vector<std::uint64_t>& ids) {
+  auto net = sim::PulseNetwork::ring(ids.size());
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    net.set_automaton(v, std::make_unique<Alg1Stabilizing>(ids[v]));
+  }
+  return net;
+}
+
+std::uint64_t id_max(const std::vector<std::uint64_t>& ids) {
+  return *std::max_element(ids.begin(), ids.end());
+}
+
+TEST(Alg1, ElectsMaxIdOnSmallRing) {
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_oriented_stabilizing({2, 4, 1, 3}, sched);
+  EXPECT_TRUE(result.quiescent);
+  ASSERT_TRUE(result.leader.has_value());
+  EXPECT_EQ(*result.leader, 1u);  // node holding ID 4
+  EXPECT_EQ(result.leader_count, 1u);
+  EXPECT_TRUE(result.valid_election());
+}
+
+TEST(Alg1, PulseCountIsExactlyNTimesIdMax) {
+  sim::GlobalFifoScheduler sched;
+  const std::vector<std::uint64_t> ids{5, 9, 2, 7, 1};
+  const auto result = elect_oriented_stabilizing(ids, sched);
+  // Corollary 13: every node sends and receives exactly IDmax pulses.
+  EXPECT_EQ(result.pulses, ids.size() * id_max(ids));
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.rho_cw, id_max(ids));
+    EXPECT_EQ(n.sigma_cw, id_max(ids));
+  }
+}
+
+TEST(Alg1, SingleNodeRingElectsItself) {
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_oriented_stabilizing({7}, sched);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(result.leader_count, 1u);
+  EXPECT_EQ(result.pulses, 7u);
+}
+
+TEST(Alg1, TwoNodeRing) {
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_oriented_stabilizing({3, 8}, sched);
+  EXPECT_TRUE(result.valid_election());
+  EXPECT_EQ(*result.leader, 1u);
+  EXPECT_EQ(result.pulses, 2u * 8u);
+}
+
+TEST(Alg1, DoesNotTerminate) {
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_oriented_stabilizing({1, 2, 3}, sched);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_FALSE(result.all_terminated);  // stabilizing, not terminating
+}
+
+TEST(Alg1, NonUniqueIdsElectAllMaxHolders) {
+  // Lemma 16: with non-unique IDs, the guarantees of Corollary 13 persist;
+  // every holder of the maximal ID ends in the Leader state.
+  sim::GlobalFifoScheduler sched;
+  const std::vector<std::uint64_t> ids{4, 2, 4, 1, 4};
+  const auto result = elect_oriented_stabilizing(ids, sched);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(result.leader_count, 3u);
+  for (std::size_t v = 0; v < ids.size(); ++v) {
+    EXPECT_EQ(result.nodes[v].role,
+              ids[v] == 4 ? Role::leader : Role::non_leader);
+    EXPECT_EQ(result.nodes[v].rho_cw, 4u);
+    EXPECT_EQ(result.nodes[v].sigma_cw, 4u);
+  }
+}
+
+TEST(Alg1, AllNodesSameIdAllBecomeLeaders) {
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_oriented_stabilizing({3, 3, 3}, sched);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(result.leader_count, 3u);
+  EXPECT_EQ(result.pulses, 9u);
+}
+
+TEST(Alg1, RejectsZeroId) {
+  EXPECT_THROW(Alg1Stabilizing(0), util::ContractViolation);
+}
+
+// Lemma 6 invariants, checked after *every* simulator event:
+//  1. rho_cw <  ID  =>  sigma_cw == rho_cw + 1
+//  2. rho_cw >= ID  =>  sigma_cw == rho_cw
+// plus Corollary 14: rho_cw <= IDmax at all times.
+void check_lemma6_everywhere(const std::vector<std::uint64_t>& ids,
+                             sim::Scheduler& sched) {
+  auto net = make_alg1_ring(ids);
+  const std::uint64_t idm = id_max(ids);
+  sim::RunOptions opts;
+  std::uint64_t checks = 0;
+  opts.on_event = [&](sim::PulseNetwork& n) {
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      if (!n.started(v)) continue;  // Lemma 6 speaks about started nodes
+      const auto& alg = n.automaton_as<Alg1Stabilizing>(v);
+      const auto& k = alg.counters();
+      if (k.rho_cw < alg.id()) {
+        ASSERT_EQ(k.sigma_cw, k.rho_cw + 1)
+            << "Lemma 6.1 violated at node " << v;
+      } else {
+        ASSERT_EQ(k.sigma_cw, k.rho_cw) << "Lemma 6.2 violated at node " << v;
+      }
+      ASSERT_LE(k.rho_cw, idm) << "Corollary 14 violated at node " << v;
+    }
+    ++checks;
+  };
+  const auto report = net.run(sched, opts);
+  EXPECT_TRUE(report.quiescent);
+  EXPECT_GT(checks, 0u);
+}
+
+class Alg1SchedulerSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Alg1SchedulerSweep, Lemma6HoldsAtEveryStep) {
+  auto sched = test::make_scheduler(GetParam(), 3);
+  ASSERT_NE(sched, nullptr);
+  check_lemma6_everywhere({6, 11, 3, 9, 1, 7}, *sched);
+}
+
+TEST_P(Alg1SchedulerSweep, OutcomeIsSchedulerIndependent) {
+  auto sched = test::make_scheduler(GetParam(), 3);
+  ASSERT_NE(sched, nullptr);
+  const std::vector<std::uint64_t> ids{12, 5, 20, 3, 8};
+  const auto result = elect_oriented_stabilizing(ids, *sched);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.valid_election());
+  EXPECT_EQ(*result.leader, 2u);
+  // Message complexity is an execution invariant: exactly n * IDmax under
+  // every adversary.
+  EXPECT_EQ(result.pulses, ids.size() * 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, Alg1SchedulerSweep,
+    ::testing::ValuesIn(test::standard_scheduler_names(3)),
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      std::string name = pinfo.param;
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Alg1, Lemma7LeaderCrossesThresholdLast) {
+  // Track the order in which nodes first satisfy rho_cw >= ID; the max-ID
+  // node must be last (Lemma 7).
+  const std::vector<std::uint64_t> ids{4, 9, 2, 6, 1};
+  for (auto& named : sim::standard_schedulers(5)) {
+    auto net = make_alg1_ring(ids);
+    std::vector<bool> crossed(ids.size(), false);
+    std::size_t crossings = 0;
+    bool leader_crossed_last = true;
+    sim::RunOptions opts;
+    opts.on_event = [&](sim::PulseNetwork& n) {
+      for (sim::NodeId v = 0; v < ids.size(); ++v) {
+        const auto& alg = n.automaton_as<Alg1Stabilizing>(v);
+        if (!crossed[v] && alg.counters().rho_cw >= alg.id()) {
+          crossed[v] = true;
+          ++crossings;
+          // Node 1 holds the max ID 9; when it crosses, all must have.
+          if (v == 1 && crossings != ids.size()) leader_crossed_last = false;
+        }
+      }
+    };
+    const auto report = net.run(*named.scheduler, opts);
+    EXPECT_TRUE(report.quiescent) << named.name;
+    EXPECT_EQ(crossings, ids.size()) << named.name;
+    EXPECT_TRUE(leader_crossed_last) << named.name;
+  }
+}
+
+TEST(Alg1, QuiescenceIffAllCrossedLemma11) {
+  // Lemma 11: quiescence <=> rho_cw[v] >= ID_v everywhere <=> all counters
+  // equal IDmax. Verify the forward direction at every intermediate step
+  // (not quiescent while someone is below threshold) and the final state.
+  const std::vector<std::uint64_t> ids{5, 2, 8, 3};
+  auto net = make_alg1_ring(ids);
+  sim::RunOptions opts;
+  opts.on_event = [&](sim::PulseNetwork& n) {
+    bool all_crossed = true;
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      const auto& alg = n.automaton_as<Alg1Stabilizing>(v);
+      if (alg.counters().rho_cw < alg.id()) all_crossed = false;
+    }
+    if (!all_crossed) {
+      ASSERT_FALSE(n.quiescent());
+    } else {
+      ASSERT_TRUE(n.quiescent());
+      for (sim::NodeId v = 0; v < ids.size(); ++v) {
+        const auto& alg = n.automaton_as<Alg1Stabilizing>(v);
+        ASSERT_EQ(alg.counters().rho_cw, 8u);
+        ASSERT_EQ(alg.counters().sigma_cw, 8u);
+      }
+    }
+  };
+  sim::RandomScheduler sched(99);
+  EXPECT_TRUE(net.run(sched, opts).quiescent);
+}
+
+TEST(Alg1, SparseIdsStillExact) {
+  sim::GlobalFifoScheduler sched;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto ids = test::sparse_ids(6, 200, seed);
+    const auto result = elect_oriented_stabilizing(ids, sched);
+    EXPECT_TRUE(result.quiescent);
+    EXPECT_TRUE(result.valid_election());
+    EXPECT_EQ(result.pulses, ids.size() * id_max(ids));
+  }
+}
+
+TEST(Alg1, InterleavedStartsDoNotChangeOutcome) {
+  const std::vector<std::uint64_t> ids{10, 4, 7, 2, 6, 1};
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::RandomScheduler sched(seed);
+    sim::RunOptions opts;
+    opts.interleave_starts = true;
+    opts.interleave_seed = seed * 17;
+    const auto result = elect_oriented_stabilizing(ids, sched, opts);
+    EXPECT_TRUE(result.quiescent);
+    EXPECT_TRUE(result.valid_election());
+    EXPECT_EQ(*result.leader, 0u);
+    EXPECT_EQ(result.pulses, ids.size() * 10u);
+  }
+}
+
+TEST(Alg1, ExhaustiveSmallRingPermutations) {
+  // All placements of IDs {1..4} on a 4-ring, all under two adversaries.
+  std::vector<std::uint64_t> ids{1, 2, 3, 4};
+  std::sort(ids.begin(), ids.end());
+  do {
+    for (auto& named : sim::standard_schedulers(1)) {
+      const auto result = elect_oriented_stabilizing(ids, *named.scheduler);
+      ASSERT_TRUE(result.quiescent);
+      ASSERT_TRUE(result.valid_election());
+      ASSERT_EQ(ids[*result.leader], 4u) << named.name;
+      ASSERT_EQ(result.pulses, 16u);
+    }
+  } while (std::next_permutation(ids.begin(), ids.end()));
+}
+
+// Model-violation detection: dropping or injecting pulses breaks the
+// Lemma 6 / Corollary 13 accounting in an observable way, demonstrating
+// that the invariants are sharp and that the model's "no drops, no
+// injections" assumption is load-bearing.
+TEST(Alg1, DroppedPulseBreaksStabilizationAccounting) {
+  const std::vector<std::uint64_t> ids{3, 5, 2};
+  auto net = make_alg1_ring(ids);
+  bool dropped = false;
+  int events_seen = 0;
+  sim::RunOptions opts;
+  // Once all starts have fired, channel 0 (CW out of node 0) holds node 0's
+  // start pulse; destroy it.
+  opts.on_event = [&](sim::PulseNetwork& n) {
+    ++events_seen;
+    if (events_seen == static_cast<int>(ids.size()) && !dropped) {
+      // All starts done; channel 0 (CW out of node 0) holds one pulse.
+      n.drop_fault(0);
+      dropped = true;
+    }
+  };
+  sim::GlobalFifoScheduler sched;
+  const auto report = net.run(sched, opts);
+  EXPECT_TRUE(dropped);
+  // With a pulse destroyed, the ring can stabilize only short of IDmax:
+  // someone never reaches their ID.
+  bool someone_short = false;
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    const auto& alg = net.automaton_as<Alg1Stabilizing>(v);
+    if (alg.counters().rho_cw < 5u) someone_short = true;
+  }
+  EXPECT_TRUE(someone_short);
+  EXPECT_EQ(report.deliveries_to_terminated, 0u);
+}
+
+TEST(Alg1, InjectedPulseInflatesCountsBeyondIdMax) {
+  const std::vector<std::uint64_t> ids{3, 5, 2};
+  auto net = make_alg1_ring(ids);
+  bool injected = false;
+  int events_seen = 0;
+  sim::RunOptions opts;
+  opts.on_event = [&](sim::PulseNetwork& n) {
+    ++events_seen;
+    if (events_seen == static_cast<int>(ids.size()) && !injected) {
+      n.inject_fault(0);  // a pulse nobody sent
+      injected = true;
+    }
+  };
+  // Once every node has crossed its threshold, the surplus pulse circulates
+  // forever (all nodes act as relays), so bound the run.
+  opts.max_events = 5000;
+  sim::GlobalFifoScheduler sched;
+  net.run(sched, opts);
+  // Corollary 14 (rho_cw <= IDmax) must now fail somewhere.
+  bool exceeded = false;
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    if (net.automaton_as<Alg1Stabilizing>(v).counters().rho_cw > 5u) {
+      exceeded = true;
+    }
+  }
+  EXPECT_TRUE(exceeded);
+}
+
+}  // namespace
+}  // namespace colex::co

@@ -1,0 +1,245 @@
+// Tests for Algorithm 2 (Theorem 1): quiescently terminating leader election
+// on oriented rings with exactly n(2*IDmax + 1) pulses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "co/alg2.hpp"
+#include "co/election.hpp"
+#include "helpers.hpp"
+#include "sim/network.hpp"
+
+namespace colex::co {
+namespace {
+
+std::uint64_t id_max(const std::vector<std::uint64_t>& ids) {
+  return *std::max_element(ids.begin(), ids.end());
+}
+
+void expect_theorem1(const std::vector<std::uint64_t>& ids,
+                     sim::Scheduler& sched, const sim::RunOptions& opts = {}) {
+  const auto result = elect_oriented_terminating(ids, sched, opts);
+  ASSERT_TRUE(result.quiescent);
+  ASSERT_TRUE(result.all_terminated);
+  ASSERT_TRUE(result.valid_election());
+  const auto max_it = std::max_element(ids.begin(), ids.end());
+  EXPECT_EQ(*result.leader, static_cast<sim::NodeId>(max_it - ids.begin()));
+  EXPECT_EQ(result.pulses, theorem1_pulses(ids.size(), id_max(ids)));
+  EXPECT_EQ(result.report.deliveries_to_terminated, 0u)
+      << "quiescent termination violated: a pulse reached a terminated node";
+}
+
+TEST(Alg2, Theorem1OnSmallRing) {
+  sim::GlobalFifoScheduler sched;
+  expect_theorem1({2, 4, 1, 3}, sched);
+}
+
+TEST(Alg2, SingleNodeRing) {
+  sim::GlobalFifoScheduler sched;
+  expect_theorem1({1}, sched);
+  expect_theorem1({5}, sched);
+  expect_theorem1({23}, sched);
+}
+
+TEST(Alg2, TwoNodeRing) {
+  sim::GlobalFifoScheduler sched;
+  expect_theorem1({1, 2}, sched);
+  expect_theorem1({9, 4}, sched);
+}
+
+TEST(Alg2, RejectsZeroId) {
+  EXPECT_THROW(Alg2Terminating(0), util::ContractViolation);
+}
+
+class Alg2SchedulerSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Alg2SchedulerSweep, Theorem1HoldsUnderEveryAdversary) {
+  auto sched = test::make_scheduler(GetParam(), 4);
+  ASSERT_NE(sched, nullptr);
+  expect_theorem1({6, 11, 3, 9, 1, 7}, *sched);
+}
+
+TEST_P(Alg2SchedulerSweep, SparseIdsAndInterleavedStarts) {
+  auto sched = test::make_scheduler(GetParam(), 4);
+  ASSERT_NE(sched, nullptr);
+  sim::RunOptions opts;
+  opts.interleave_starts = true;
+  opts.interleave_seed = 1234;
+  expect_theorem1(test::sparse_ids(5, 60, 3), *sched, opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, Alg2SchedulerSweep,
+    ::testing::ValuesIn(test::standard_scheduler_names(4)),
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      std::string name = pinfo.param;
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Alg2, ExhaustiveSmallRingPermutations) {
+  std::vector<std::uint64_t> ids{1, 2, 3, 4, 5};
+  std::sort(ids.begin(), ids.end());
+  sim::GlobalFifoScheduler fifo;
+  sim::GlobalLifoScheduler lifo;
+  do {
+    expect_theorem1(ids, fifo);
+    expect_theorem1(ids, lifo);
+  } while (std::next_permutation(ids.begin(), ids.end()));
+}
+
+TEST(Alg2, ManyRandomConfigurations) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::RandomScheduler sched(seed);
+    const auto ids = test::shuffled(test::sparse_ids(4 + seed % 5, 40, seed),
+                                    seed * 31);
+    expect_theorem1(ids, sched);
+  }
+}
+
+TEST(Alg2, OnlyLeaderInitiatesTermination) {
+  // The rho_cw = ID = rho_ccw event (lines 14-17) must fire at the max-ID
+  // node and nowhere else; this is the paper's central uniqueness claim.
+  const std::vector<std::uint64_t> ids{4, 9, 2, 6, 1};
+  for (auto& named : sim::standard_schedulers(6)) {
+    auto net = sim::PulseNetwork::ring(ids.size());
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      net.set_automaton(v, std::make_unique<Alg2Terminating>(ids[v]));
+    }
+    const auto report = net.run(*named.scheduler);
+    ASSERT_TRUE(report.quiescent) << named.name;
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      const auto& alg = net.automaton_as<Alg2Terminating>(v);
+      EXPECT_EQ(alg.initiated_termination(), v == 1)
+          << named.name << " node " << v;
+    }
+  }
+}
+
+TEST(Alg2, LeaderTerminatesLast) {
+  // §1.1: nodes terminate in order with the leader last, which is what
+  // makes the algorithm composable with the scheme of [8].
+  const std::vector<std::uint64_t> ids{4, 9, 2, 6, 1};
+  for (auto& named : sim::standard_schedulers(6)) {
+    auto net = sim::PulseNetwork::ring(ids.size());
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      net.set_automaton(v, std::make_unique<Alg2Terminating>(ids[v]));
+    }
+    std::vector<sim::NodeId> termination_order;
+    std::vector<bool> down(ids.size(), false);
+    sim::RunOptions opts;
+    opts.on_event = [&](sim::PulseNetwork& n) {
+      for (sim::NodeId v = 0; v < ids.size(); ++v) {
+        if (!down[v] && n.automaton_as<Alg2Terminating>(v).terminated()) {
+          down[v] = true;
+          termination_order.push_back(v);
+        }
+      }
+    };
+    const auto report = net.run(*named.scheduler, opts);
+    ASSERT_TRUE(report.all_terminated) << named.name;
+    ASSERT_EQ(termination_order.size(), ids.size()) << named.name;
+    EXPECT_EQ(termination_order.back(), 1u) << named.name;
+  }
+}
+
+TEST(Alg2, CcwNeverOvertakesCwBeforeTermination) {
+  // The CCW instance must lag the CW one: before the termination pulse, no
+  // node may observe rho_ccw > rho_cw (otherwise it would terminate
+  // prematurely). Assert at every event across adversaries.
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9, 1, 7};
+  for (auto& named : sim::standard_schedulers(6)) {
+    auto net = sim::PulseNetwork::ring(ids.size());
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      net.set_automaton(v, std::make_unique<Alg2Terminating>(ids[v]));
+    }
+    sim::RunOptions opts;
+    opts.on_event = [&](sim::PulseNetwork& n) {
+      for (sim::NodeId v = 0; v < ids.size(); ++v) {
+        const auto& alg = n.automaton_as<Alg2Terminating>(v);
+        const auto& k = alg.counters();
+        if (!alg.terminated()) {
+          // rho_ccw can exceed rho_cw only via the termination pulse, at
+          // which point the node's next react terminates it; what must
+          // never happen is an excess of 2 or more.
+          ASSERT_LE(k.rho_ccw, k.rho_cw + 1) << named.name << " node " << v;
+        }
+      }
+    };
+    const auto report = net.run(*named.scheduler, opts);
+    ASSERT_TRUE(report.all_terminated) << named.name;
+  }
+}
+
+TEST(Alg2, CountersAtTerminationMatchCorollary13BothDirections) {
+  const std::vector<std::uint64_t> ids{5, 9, 2, 7, 1};
+  sim::RandomScheduler sched(7);
+  const auto result = elect_oriented_terminating(ids, sched);
+  ASSERT_TRUE(result.all_terminated);
+  const std::uint64_t idm = id_max(ids);
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    const auto& n = result.nodes[v];
+    // CW instance: everyone sent/received exactly IDmax.
+    EXPECT_EQ(n.rho_cw, idm);
+    EXPECT_EQ(n.sigma_cw, idm);
+    // CCW instance: IDmax plus the termination pulse that passed everyone.
+    EXPECT_EQ(n.rho_ccw, idm + 1);
+    EXPECT_EQ(n.sigma_ccw, idm + 1);
+  }
+}
+
+TEST(Alg2, LargeRingExactComplexity) {
+  const auto ids = test::shuffled(test::dense_ids(64), 5);
+  sim::RandomScheduler sched(11);
+  const auto result = elect_oriented_terminating(ids, sched);
+  ASSERT_TRUE(result.valid_election());
+  EXPECT_EQ(result.pulses, theorem1_pulses(64, 64));
+}
+
+TEST(Alg2, HugeSingleIdDominatesComplexity) {
+  // Theorem 4's point: complexity scales with IDmax, not n. A 3-ring with a
+  // huge ID pays for it.
+  const std::vector<std::uint64_t> ids{1000, 2, 1};
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_oriented_terminating(ids, sched);
+  ASSERT_TRUE(result.valid_election());
+  EXPECT_EQ(result.pulses, 3u * 2001u);
+}
+
+TEST(Alg2, RolesAreExactlyOneLeaderRestFollowers) {
+  const auto ids = test::shuffled(test::dense_ids(12), 3);
+  sim::RandomScheduler sched(3);
+  const auto result = elect_oriented_terminating(ids, sched);
+  std::size_t leaders = 0, followers = 0;
+  for (const auto& n : result.nodes) {
+    if (n.role == Role::leader) ++leaders;
+    if (n.role == Role::non_leader) ++followers;
+  }
+  EXPECT_EQ(leaders, 1u);
+  EXPECT_EQ(followers, 11u);
+}
+
+
+TEST(Alg2, EveryChannelEclipsedStillExact) {
+  // Sweep the eclipsed edge over all 2n channels: a single maximally slow
+  // link never changes the outcome or the count.
+  const std::vector<std::uint64_t> ids{4, 9, 2, 6};
+  for (std::size_t c = 0; c < 2 * ids.size(); ++c) {
+    sim::EclipseScheduler sched(c);
+    expect_theorem1(ids, sched);
+  }
+}
+
+TEST(Alg2, BurstySchedulerSeedsSweep) {
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9, 1};
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::BurstyScheduler sched(seed);
+    expect_theorem1(ids, sched);
+  }
+}
+
+}  // namespace
+}  // namespace colex::co

@@ -1,0 +1,242 @@
+// Tests for Algorithm 3 (non-oriented rings): leader election plus ring
+// orientation, under both virtual-ID schemes (Proposition 15 and Theorem 2),
+// including exhaustive port-scramble sweeps and the Prop. 19 resampling rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "co/alg3.hpp"
+#include "co/election.hpp"
+#include "helpers.hpp"
+#include "sim/network.hpp"
+
+namespace colex::co {
+namespace {
+
+std::uint64_t id_max(const std::vector<std::uint64_t>& ids) {
+  return *std::max_element(ids.begin(), ids.end());
+}
+
+void expect_elects_and_orients(const std::vector<std::uint64_t>& ids,
+                               const std::vector<bool>& flips,
+                               IdScheme scheme, sim::Scheduler& sched) {
+  Alg3NonOriented::Options options;
+  options.scheme = scheme;
+  const auto result = elect_and_orient(ids, flips, options, sched);
+  ASSERT_TRUE(result.quiescent);
+  EXPECT_FALSE(result.all_terminated);  // stabilizes, never terminates
+  ASSERT_TRUE(result.valid_election()) << "scheme " << to_string(scheme);
+  const auto max_it = std::max_element(ids.begin(), ids.end());
+  EXPECT_EQ(*result.leader, static_cast<sim::NodeId>(max_it - ids.begin()));
+  EXPECT_TRUE(result.orientation_consistent);
+  EXPECT_TRUE(result.orientation_matches_leader_port1);
+  const std::uint64_t expected =
+      scheme == IdScheme::doubled
+          ? prop15_pulses(ids.size(), id_max(ids))
+          : theorem1_pulses(ids.size(), id_max(ids));
+  EXPECT_EQ(result.pulses, expected) << "scheme " << to_string(scheme);
+}
+
+TEST(Alg3, OrientedRingBothSchemes) {
+  sim::GlobalFifoScheduler sched;
+  expect_elects_and_orients({2, 4, 1, 3}, {}, IdScheme::doubled, sched);
+  expect_elects_and_orients({2, 4, 1, 3}, {}, IdScheme::improved, sched);
+}
+
+TEST(Alg3, ScrambledRingBothSchemes) {
+  sim::GlobalFifoScheduler sched;
+  const std::vector<bool> flips{true, false, true, true};
+  expect_elects_and_orients({2, 4, 1, 3}, flips, IdScheme::doubled, sched);
+  expect_elects_and_orients({2, 4, 1, 3}, flips, IdScheme::improved, sched);
+}
+
+TEST(Alg3, SingleNodeSelfLoop) {
+  sim::GlobalFifoScheduler sched;
+  for (const bool flip : {false, true}) {
+    expect_elects_and_orients({5}, {flip}, IdScheme::doubled, sched);
+    expect_elects_and_orients({5}, {flip}, IdScheme::improved, sched);
+  }
+}
+
+TEST(Alg3, TwoNodeAllScrambles) {
+  sim::GlobalFifoScheduler sched;
+  for (const auto& flips : test::all_flip_masks(2)) {
+    expect_elects_and_orients({3, 7}, flips, IdScheme::doubled, sched);
+    expect_elects_and_orients({3, 7}, flips, IdScheme::improved, sched);
+  }
+}
+
+TEST(Alg3, ExhaustiveScramblesSmallRing) {
+  // Every port assignment of a 6-ring must elect the same leader and agree
+  // on an orientation (Figure 1's point: algorithms must work for all
+  // assignments of the nodes' ports).
+  sim::GlobalFifoScheduler sched;
+  const std::vector<std::uint64_t> ids{4, 1, 6, 2, 5, 3};
+  for (const auto& flips : test::all_flip_masks(6)) {
+    expect_elects_and_orients(ids, flips, IdScheme::improved, sched);
+  }
+}
+
+TEST(Alg3, ExhaustiveScramblesDoubledScheme) {
+  sim::GlobalFifoScheduler sched;
+  const std::vector<std::uint64_t> ids{4, 1, 3, 2};
+  for (const auto& flips : test::all_flip_masks(4)) {
+    expect_elects_and_orients(ids, flips, IdScheme::doubled, sched);
+  }
+}
+
+class Alg3SchedulerSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Alg3SchedulerSweep, ScrambledRingUnderEveryAdversary) {
+  auto sched = test::make_scheduler(GetParam(), 4);
+  ASSERT_NE(sched, nullptr);
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9, 1, 7};
+  const std::vector<bool> flips{true, true, false, true, false, false};
+  expect_elects_and_orients(ids, flips, IdScheme::improved, *sched);
+  sched->reset();
+  expect_elects_and_orients(ids, flips, IdScheme::doubled, *sched);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, Alg3SchedulerSweep,
+    ::testing::ValuesIn(test::standard_scheduler_names(4)),
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      std::string name = pinfo.param;
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Alg3, RandomScramblesRandomIdsRandomSchedulers) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    util::Xoshiro256StarStar rng(seed);
+    const std::size_t n = 3 + rng.below(6);
+    const auto ids = test::sparse_ids(n, 50, seed + 100);
+    std::vector<bool> flips(n);
+    for (std::size_t v = 0; v < n; ++v) flips[v] = rng.bernoulli(0.5);
+    sim::RandomScheduler sched(seed);
+    expect_elects_and_orients(ids, flips, IdScheme::improved, sched);
+  }
+}
+
+TEST(Alg3, PerNodeCountersStabilizeToDirectionalMaxima) {
+  // Theorem 2's accounting: with the improved scheme, each node receives
+  // IDmax+1 pulses from one direction and IDmax from the other.
+  const std::vector<std::uint64_t> ids{5, 9, 2, 7};
+  const std::vector<bool> flips{false, true, true, false};
+  Alg3NonOriented::Options options;
+  options.scheme = IdScheme::improved;
+  sim::RandomScheduler sched(3);
+  const auto result = elect_and_orient(ids, flips, options, sched);
+  ASSERT_TRUE(result.quiescent);
+  for (const auto& n : result.nodes) {
+    const auto lo = std::min(n.rho_p0, n.rho_p1);
+    const auto hi = std::max(n.rho_p0, n.rho_p1);
+    EXPECT_EQ(hi, 10u);  // IDmax + 1
+    EXPECT_EQ(lo, 9u);   // IDmax
+  }
+}
+
+TEST(Alg3, DeclaredCwPortIsThePortReceivingFewerPulses) {
+  const std::vector<std::uint64_t> ids{5, 9, 2, 7};
+  Alg3NonOriented::Options options;
+  options.scheme = IdScheme::improved;
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_and_orient(ids, {}, options, sched);
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    const auto& n = result.nodes[v];
+    const sim::Port busier =
+        n.rho_p0 > n.rho_p1 ? sim::Port::p0 : sim::Port::p1;
+    EXPECT_EQ(result.cw_ports[v], sim::opposite(busier));
+  }
+}
+
+TEST(Alg3, NonUniqueIdsWorkWhenMaxIsUnique) {
+  // Lemma 16 / §5: the algorithm only needs the *maximal* ID to be unique.
+  sim::GlobalFifoScheduler sched;
+  const std::vector<std::uint64_t> ids{3, 7, 3, 3, 5, 5};
+  Alg3NonOriented::Options options;
+  options.scheme = IdScheme::improved;
+  const auto result = elect_and_orient(ids, {}, options, sched);
+  ASSERT_TRUE(result.quiescent);
+  ASSERT_TRUE(result.valid_election());
+  EXPECT_EQ(*result.leader, 1u);
+  EXPECT_TRUE(result.orientation_consistent);
+  EXPECT_EQ(result.pulses, theorem1_pulses(ids.size(), 7));
+}
+
+TEST(Alg3, DuplicatedMaxIdYieldsNoUniqueLeader) {
+  // Negative control: when the maximal ID is duplicated, the improved
+  // scheme's two directions share their maxima and the leader predicate
+  // cannot single anyone out. The run still reaches quiescence.
+  sim::GlobalFifoScheduler sched;
+  const std::vector<std::uint64_t> ids{7, 3, 7};
+  Alg3NonOriented::Options options;
+  options.scheme = IdScheme::improved;
+  const auto result = elect_and_orient(ids, {}, options, sched);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_NE(result.leader_count, 1u);
+}
+
+TEST(Alg3, VirtualIdSchemes) {
+  const auto doubled = virtual_ids(5, IdScheme::doubled);
+  EXPECT_EQ(doubled.vid[0], 9u);
+  EXPECT_EQ(doubled.vid[1], 10u);
+  const auto improved = virtual_ids(5, IdScheme::improved);
+  EXPECT_EQ(improved.vid[0], 5u);
+  EXPECT_EQ(improved.vid[1], 6u);
+  EXPECT_THROW(virtual_ids(0, IdScheme::doubled), util::ContractViolation);
+}
+
+TEST(Alg3, DoubledSchemeCostsRoughlyTwiceImproved) {
+  const std::vector<std::uint64_t> ids{5, 9, 2, 7, 1};
+  sim::GlobalFifoScheduler sched;
+  Alg3NonOriented::Options doubled{IdScheme::doubled, std::nullopt};
+  Alg3NonOriented::Options improved{IdScheme::improved, std::nullopt};
+  const auto r1 = elect_and_orient(ids, {}, doubled, sched);
+  const auto r2 = elect_and_orient(ids, {}, improved, sched);
+  EXPECT_EQ(r1.pulses, prop15_pulses(5, 9));    // 5 * 35 = 175
+  EXPECT_EQ(r2.pulses, theorem1_pulses(5, 9));  // 5 * 19 = 95
+  EXPECT_GT(r1.pulses, r2.pulses);
+}
+
+TEST(Alg3, Prop19ResamplingYieldsDistinctIds) {
+  // Proposition 19: with the resampling rule, all nodes hold distinct IDs
+  // at quiescence with high probability. Use IDs with many duplicates and a
+  // large unique max so the redraw range is wide.
+  std::size_t distinct_runs = 0;
+  constexpr std::size_t kRuns = 30;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    const std::vector<std::uint64_t> ids{2, 2, 2, 2, 2, 1000};
+    Alg3NonOriented::Options options;
+    options.scheme = IdScheme::improved;
+    options.resample_seed = seed;
+    sim::RandomScheduler sched(seed);
+    const auto result = elect_and_orient(ids, {}, options, sched);
+    ASSERT_TRUE(result.quiescent);
+    std::set<std::uint64_t> seen;
+    for (const auto& n : result.nodes) seen.insert(n.id);
+    if (seen.size() == ids.size()) ++distinct_runs;
+  }
+  // With redraw range ~[1, 999] and 6 nodes, collisions are rare; demand
+  // at least 90% of runs fully distinct.
+  EXPECT_GE(distinct_runs, kRuns * 9 / 10);
+}
+
+TEST(Alg3, Prop19DoesNotDisturbElectionOrComplexity) {
+  const std::vector<std::uint64_t> ids{2, 2, 2, 2, 2, 1000};
+  Alg3NonOriented::Options options;
+  options.scheme = IdScheme::improved;
+  options.resample_seed = 42;
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_and_orient(ids, {}, options, sched);
+  ASSERT_TRUE(result.valid_election());
+  EXPECT_EQ(*result.leader, 5u);
+  EXPECT_EQ(result.pulses, theorem1_pulses(6, 1000));
+  EXPECT_TRUE(result.orientation_consistent);
+}
+
+}  // namespace
+}  // namespace colex::co

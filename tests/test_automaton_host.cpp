@@ -1,0 +1,176 @@
+// Tests for the generic thread host: the *same automaton objects* the
+// discrete simulator runs — event-driven Algorithm 2, the replication
+// adapter, and the full Corollary 5 composition — executing on real OS
+// threads with identical results.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "co/alg2.hpp"
+#include "co/alg3.hpp"
+#include "co/election.hpp"
+#include "co/replicated.hpp"
+#include "colib/apps.hpp"
+#include "colib/composed.hpp"
+#include "helpers.hpp"
+#include "runtime/automaton_host.hpp"
+
+namespace colex::rt {
+namespace {
+
+TEST(AutomatonHost, Alg2MatchesSimulatorExactly) {
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9, 1, 7};
+  const auto result = run_automata_on_threads(
+      ids.size(), {},
+      [&ids](sim::NodeId v) {
+        return std::make_unique<co::Alg2Terminating>(ids[v]);
+      });
+  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(result.all_terminated);
+  EXPECT_EQ(result.pulses, co::theorem1_pulses(ids.size(), 11));
+  std::size_t leaders = 0;
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    const auto& alg =
+        dynamic_cast<const co::Alg2Terminating&>(*result.automata[v]);
+    if (alg.role() == co::Role::leader) {
+      ++leaders;
+      EXPECT_EQ(v, 1u);
+    }
+    EXPECT_EQ(alg.counters().rho_cw, 11u);
+    EXPECT_EQ(alg.counters().rho_ccw, 12u);
+  }
+  EXPECT_EQ(leaders, 1u);
+}
+
+TEST(AutomatonHost, Alg3OnScrambledRing) {
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9};
+  const std::vector<bool> flips{true, false, true, true};
+  const auto result = run_automata_on_threads(
+      ids.size(), flips, [&ids](sim::NodeId v) {
+        co::Alg3NonOriented::Options options;
+        return std::make_unique<co::Alg3NonOriented>(ids[v], options);
+      });
+  ASSERT_TRUE(result.completed);
+  EXPECT_FALSE(result.all_terminated);  // stabilizing: harness stopped it
+  EXPECT_EQ(result.pulses, co::theorem1_pulses(4, 11));
+  std::size_t leaders = 0;
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    const auto& alg =
+        dynamic_cast<const co::Alg3NonOriented&>(*result.automata[v]);
+    if (alg.role() == co::Role::leader) {
+      ++leaders;
+      EXPECT_EQ(v, 1u);
+    }
+  }
+  EXPECT_EQ(leaders, 1u);
+}
+
+TEST(AutomatonHost, ReplicatedAdapterOnThreads) {
+  const std::vector<std::uint64_t> ids{4, 9, 2, 6};
+  const unsigned r = 2;
+  const auto result = run_automata_on_threads(
+      ids.size(), {}, [&ids, r](sim::NodeId v) {
+        return std::make_unique<co::ReplicatedAdapter>(
+            std::make_unique<co::Alg2Terminating>(ids[v]), r);
+      });
+  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(result.all_terminated);
+  EXPECT_EQ(result.pulses, (r + 1) * co::theorem1_pulses(4, 9));
+  std::size_t leaders = 0;
+  for (const auto& automaton : result.automata) {
+    const auto& adapter =
+        dynamic_cast<const co::ReplicatedAdapter&>(*automaton);
+    if (adapter.inner_as<co::Alg2Terminating>().role() == co::Role::leader) {
+      ++leaders;
+    }
+  }
+  EXPECT_EQ(leaders, 1u);
+}
+
+TEST(AutomatonHost, Corollary5CompositionOnRealThreads) {
+  // The full stack — Algorithm 2, then the token-bus survey, then a
+  // gather-all computation — on genuine asynchrony.
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9, 1};
+  const std::vector<std::uint64_t> inputs{10, 20, 30, 40, 50};
+  const auto result = run_automata_on_threads(
+      ids.size(), {}, [&](sim::NodeId v) {
+        return std::make_unique<colib::ComposedNode>(
+            ids[v], std::make_unique<colib::GatherAllApp>(inputs[v]));
+      });
+  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(result.all_terminated);
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    const auto& composed =
+        dynamic_cast<const colib::ComposedNode&>(*result.automata[v]);
+    ASSERT_NE(composed.bus(), nullptr) << v;
+    const auto& app =
+        dynamic_cast<const colib::GatherAllApp&>(composed.bus()->app());
+    ASSERT_TRUE(app.complete()) << v;
+    EXPECT_EQ(app.sum(), 150u);
+    EXPECT_EQ(app.max_value(), 50u);
+    EXPECT_EQ(app.ring_size(), ids.size());
+    // Bus offsets are relative to the leader (node 1, ID 11).
+    EXPECT_EQ(app.offset(), (v + ids.size() - 1) % ids.size());
+  }
+}
+
+TEST(AutomatonHost, RepeatedCompositionRunsStayExact) {
+  const std::vector<std::uint64_t> ids{4, 9, 2};
+  std::uint64_t reference = 0;
+  for (int rep = 0; rep < 6; ++rep) {
+    const auto result = run_automata_on_threads(
+        ids.size(), {}, [&ids](sim::NodeId v) {
+          return std::make_unique<colib::ComposedNode>(
+              ids[v], std::make_unique<colib::GatherAllApp>(v + 1));
+        });
+    ASSERT_TRUE(result.all_terminated) << rep;
+    if (rep == 0) {
+      reference = result.pulses;
+    } else {
+      // The bus is fully serialized, so even the *total* pulse count is
+      // identical across thread schedules.
+      EXPECT_EQ(result.pulses, reference) << rep;
+    }
+  }
+}
+
+TEST(AutomatonHost, SingleNode) {
+  const auto result = run_automata_on_threads(1, {}, [](sim::NodeId) {
+    return std::make_unique<co::Alg2Terminating>(7);
+  });
+  ASSERT_TRUE(result.all_terminated);
+  EXPECT_EQ(result.pulses, 15u);
+}
+
+TEST(AutomatonHost, RejectsNullFactoryResult) {
+  EXPECT_THROW(run_automata_on_threads(
+                   2, {}, [](sim::NodeId) {
+                     return std::unique_ptr<sim::PulseAutomaton>{};
+                   }),
+               util::ContractViolation);
+}
+
+
+/// Relays every pulse forever: the fabric never goes quiescent, so the
+/// harness monitor must give up via its timeout.
+class EternalRelay final : public sim::PulseAutomaton {
+ public:
+  void start(sim::PulseContext& ctx) override { ctx.send(sim::Port::p1); }
+  void react(sim::PulseContext& ctx) override {
+    for (const sim::Port p : {sim::Port::p0, sim::Port::p1}) {
+      while (ctx.recv_pulse(p)) ctx.send(sim::opposite(p));
+    }
+  }
+};
+
+TEST(AutomatonHost, TimeoutOnNonQuiescentProtocol) {
+  const auto result = run_automata_on_threads(
+      2, {}, [](sim::NodeId) { return std::make_unique<EternalRelay>(); },
+      /*timeout_ms=*/300);
+  EXPECT_FALSE(result.completed);  // timed out, not quiescent
+  EXPECT_FALSE(result.all_terminated);
+  EXPECT_GT(result.pulses, 2u);  // it really was circulating
+}
+
+}  // namespace
+}  // namespace colex::rt

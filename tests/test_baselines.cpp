@@ -1,0 +1,247 @@
+// Tests for the classical content-carrying baselines (paper §1.2): each must
+// elect the max-ID node (Itai-Rodeh: a unique anonymous node) with full
+// consensus under every adversarial scheduler, and their message counts must
+// match their textbook complexities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "baselines/baselines.hpp"
+#include "helpers.hpp"
+
+namespace colex::baselines {
+namespace {
+
+using ElectFn = std::function<BaselineResult(
+    const std::vector<std::uint64_t>&, sim::Scheduler&)>;
+
+struct NamedAlgorithm {
+  std::string name;
+  ElectFn run;
+};
+
+std::vector<NamedAlgorithm> id_based_algorithms() {
+  return {
+      {"lelann",
+       [](const std::vector<std::uint64_t>& ids, sim::Scheduler& s) {
+         return lelann(ids, s);
+       }},
+      {"chang-roberts",
+       [](const std::vector<std::uint64_t>& ids, sim::Scheduler& s) {
+         return chang_roberts(ids, s);
+       }},
+      {"peterson",
+       [](const std::vector<std::uint64_t>& ids, sim::Scheduler& s) {
+         return peterson(ids, s);
+       }},
+      {"hirschberg-sinclair",
+       [](const std::vector<std::uint64_t>& ids, sim::Scheduler& s) {
+         return hirschberg_sinclair(ids, s);
+       }},
+      {"franklin",
+       [](const std::vector<std::uint64_t>& ids, sim::Scheduler& s) {
+         return franklin(ids, s);
+       }},
+  };
+}
+
+void expect_elects_max(const NamedAlgorithm& alg,
+                       const std::vector<std::uint64_t>& ids,
+                       sim::Scheduler& sched) {
+  const auto result = alg.run(ids, sched);
+  ASSERT_TRUE(result.ok) << alg.name;
+  ASSERT_TRUE(result.leader.has_value()) << alg.name;
+  const auto max_it = std::max_element(ids.begin(), ids.end());
+  EXPECT_EQ(result.leader_id, *max_it) << alg.name;
+  // All algorithms here elect the node holding the maximum ID, except
+  // Peterson, which elects the node *holding the maximal temp ID* — its
+  // self-identified winner still announces the max ID it carried... in our
+  // implementation the winner announces its own real ID, so the agreed
+  // leader_id is the winner's ID, not necessarily the max. LeLann/CR/HS/
+  // Franklin announce the max.
+}
+
+TEST(Baselines, AllElectConsistentlyOnSmallRing) {
+  const std::vector<std::uint64_t> ids{2, 7, 1, 5, 3};
+  for (const auto& alg : id_based_algorithms()) {
+    sim::GlobalFifoScheduler sched;
+    const auto result = alg.run(ids, sched);
+    ASSERT_TRUE(result.ok) << alg.name;
+    EXPECT_TRUE(result.all_terminated) << alg.name;
+  }
+}
+
+TEST(Baselines, MaxIdWinsForMaxElectingAlgorithms) {
+  const std::vector<std::uint64_t> ids{12, 4, 9, 30, 2, 17};
+  for (const auto& alg : id_based_algorithms()) {
+    if (alg.name == "peterson") continue;  // elects by temp-ID position
+    sim::GlobalFifoScheduler sched;
+    expect_elects_max(alg, ids, sched);
+  }
+}
+
+TEST(Baselines, PetersonWinnerAgreedByAll) {
+  const std::vector<std::uint64_t> ids{12, 4, 9, 30, 2, 17};
+  sim::GlobalFifoScheduler sched;
+  const auto result = peterson(ids, sched);
+  ASSERT_TRUE(result.ok);
+  // The agreed leader is the self-identified winner's real ID.
+  EXPECT_EQ(result.leader_id, ids[*result.leader]);
+}
+
+TEST(Baselines, SingleNodeRings) {
+  for (const auto& alg : id_based_algorithms()) {
+    sim::GlobalFifoScheduler sched;
+    const auto result = alg.run({42}, sched);
+    ASSERT_TRUE(result.ok) << alg.name;
+    EXPECT_EQ(*result.leader, 0u) << alg.name;
+  }
+}
+
+TEST(Baselines, TwoNodeRings) {
+  for (const auto& alg : id_based_algorithms()) {
+    sim::GlobalFifoScheduler sched;
+    const auto result = alg.run({3, 8}, sched);
+    ASSERT_TRUE(result.ok) << alg.name;
+  }
+}
+
+class BaselineSchedulerSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineSchedulerSweep, CorrectUnderEveryAdversary) {
+  const auto ids = test::shuffled(test::dense_ids(9), 77);
+  for (const auto& alg : id_based_algorithms()) {
+    auto sched = test::make_scheduler(GetParam(), 4);
+    ASSERT_NE(sched, nullptr);
+    const auto result = alg.run(ids, *sched);
+    ASSERT_TRUE(result.ok) << alg.name << " under " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, BaselineSchedulerSweep,
+    ::testing::ValuesIn(test::standard_scheduler_names(4)),
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      std::string name = pinfo.param;
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Baselines, RandomConfigurations) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto ids = test::sparse_ids(3 + seed % 7, 1000, seed);
+    for (const auto& alg : id_based_algorithms()) {
+      sim::RandomScheduler sched(seed);
+      const auto result = alg.run(ids, sched);
+      ASSERT_TRUE(result.ok) << alg.name << " seed " << seed;
+    }
+  }
+}
+
+TEST(Baselines, LeLannUsesExactlyNSquaredMessages) {
+  for (std::size_t n : {1u, 2u, 5u, 16u, 40u}) {
+    const auto ids = test::shuffled(test::dense_ids(n), n);
+    sim::RandomScheduler sched(n);
+    const auto result = lelann(ids, sched);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.messages, static_cast<std::uint64_t>(n) * n);
+    EXPECT_EQ(result.late_deliveries, 0u);  // LeLann is quiescent
+  }
+}
+
+TEST(Baselines, ChangRobertsWorstCaseIsQuadratic) {
+  // IDs decreasing along the direction of travel force i-th candidate to
+  // travel i hops: n(n+1)/2 candidate messages + n announce messages.
+  const std::size_t n = 24;
+  std::vector<std::uint64_t> ids(n);
+  for (std::size_t v = 0; v < n; ++v) ids[v] = n - v;
+  sim::GlobalFifoScheduler sched;
+  const auto result = chang_roberts(ids, sched);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.messages, n * (n + 1) / 2 + n);
+}
+
+TEST(Baselines, ChangRobertsBestCaseIsLinear) {
+  // IDs increasing along the travel direction: every foreign candidate dies
+  // at its first hop: 2n - 1 candidates + n announces.
+  const std::size_t n = 24;
+  std::vector<std::uint64_t> ids(n);
+  for (std::size_t v = 0; v < n; ++v) ids[v] = v + 1;
+  sim::GlobalFifoScheduler sched;
+  const auto result = chang_roberts(ids, sched);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.messages, (2 * n - 1) + n);
+}
+
+TEST(Baselines, LogarithmicAlgorithmsBeatQuadraticOnesAtScale) {
+  const std::size_t n = 96;
+  const auto ids = test::shuffled(test::dense_ids(n), 123);
+  sim::GlobalFifoScheduler s1, s2, s3, s4;
+  const auto le = lelann(ids, s1);
+  const auto hs = hirschberg_sinclair(ids, s2);
+  const auto pe = peterson(ids, s3);
+  const auto fr = franklin(ids, s4);
+  ASSERT_TRUE(le.ok && hs.ok && pe.ok && fr.ok);
+  EXPECT_LT(hs.messages, le.messages);
+  EXPECT_LT(pe.messages, le.messages);
+  EXPECT_LT(fr.messages, le.messages);
+  // O(n log n) with textbook constants: HS <= 8 n (log n + 1), Peterson and
+  // Franklin <= ~2 n log n + O(n).
+  const double nlogn = static_cast<double>(n) * std::log2(n);
+  EXPECT_LT(static_cast<double>(hs.messages), 8 * nlogn + 8 * n);
+  EXPECT_LT(static_cast<double>(pe.messages), 4 * nlogn + 4 * n);
+  EXPECT_LT(static_cast<double>(fr.messages), 4 * nlogn + 4 * n);
+}
+
+TEST(Baselines, ItaiRodehElectsExactlyOneOnAnonymousRing) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    sim::RandomScheduler sched(seed);
+    const auto result = itai_rodeh(1 + seed % 9, seed * 13, sched);
+    ASSERT_TRUE(result.ok) << "seed " << seed;
+  }
+}
+
+TEST(Baselines, ItaiRodehExpectedMessagesReasonable) {
+  // Las Vegas: expected O(n log n) per run; check the average over seeds
+  // stays within a generous constant of n log n.
+  const std::size_t n = 32;
+  double total = 0;
+  constexpr int kRuns = 20;
+  for (int r = 0; r < kRuns; ++r) {
+    sim::RandomScheduler sched(static_cast<std::uint64_t>(r) + 1);
+    const auto result = itai_rodeh(n, static_cast<std::uint64_t>(r) * 7 + 1,
+                                   sched);
+    ASSERT_TRUE(result.ok);
+    total += static_cast<double>(result.messages);
+  }
+  const double avg = total / kRuns;
+  EXPECT_LT(avg, 20.0 * static_cast<double>(n) * std::log2(n));
+}
+
+TEST(Baselines, BitsAccountingIsPositiveAndTracksMessages) {
+  const auto ids = test::shuffled(test::dense_ids(12), 3);
+  sim::GlobalFifoScheduler sched;
+  const auto result = chang_roberts(ids, sched);
+  ASSERT_TRUE(result.ok);
+  // Every message carries at least kind+flag+1 value bit = 4 bits.
+  EXPECT_GE(result.bits, result.messages * 4);
+}
+
+TEST(Baselines, MsgBitSize) {
+  Msg m;
+  m.value = 1;
+  EXPECT_EQ(m.bit_size(), 2u + 1u + 1u);
+  m.value = 255;
+  EXPECT_EQ(m.bit_size(), 2u + 1u + 8u);
+  m.hops = 3;
+  EXPECT_EQ(m.bit_size(), 2u + 1u + 8u + 2u);
+  m.phase = 1;
+  EXPECT_EQ(m.bit_size(), 2u + 1u + 8u + 2u + 1u);
+}
+
+}  // namespace
+}  // namespace colex::baselines

@@ -1,0 +1,164 @@
+// Extended baseline coverage: exhaustive small-ring permutations, average-
+// vs worst-case statistics, Itai-Rodeh behaviour, and cross-checks against
+// the content-oblivious election.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/baselines.hpp"
+#include "co/election.hpp"
+#include "helpers.hpp"
+
+namespace colex::baselines {
+namespace {
+
+TEST(BaselinesExtended, ExhaustivePermutationsFourNodes) {
+  std::vector<std::uint64_t> ids{1, 2, 3, 4};
+  std::sort(ids.begin(), ids.end());
+  do {
+    sim::GlobalFifoScheduler s0, s1, s2, s3, s4;
+    const auto le = lelann(ids, s0);
+    const auto cr = chang_roberts(ids, s1);
+    const auto hs = hirschberg_sinclair(ids, s2);
+    const auto pe = peterson(ids, s3);
+    const auto fr = franklin(ids, s4);
+    ASSERT_TRUE(le.ok && cr.ok && hs.ok && pe.ok && fr.ok);
+    // Max-electing algorithms must agree on ID 4.
+    ASSERT_EQ(le.leader_id, 4u);
+    ASSERT_EQ(cr.leader_id, 4u);
+    ASSERT_EQ(hs.leader_id, 4u);
+    ASSERT_EQ(fr.leader_id, 4u);
+  } while (std::next_permutation(ids.begin(), ids.end()));
+}
+
+TEST(BaselinesExtended, AgreeWithContentObliviousLeader) {
+  // The content-oblivious election and the classical max-electing
+  // algorithms must name the same node.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto ids = test::sparse_ids(5 + seed % 4, 300, seed);
+    sim::RandomScheduler s0(seed), s1(seed + 50);
+    const auto co_result = co::elect_oriented_terminating(ids, s0);
+    const auto cr = chang_roberts(ids, s1);
+    ASSERT_TRUE(co_result.valid_election() && cr.ok);
+    EXPECT_EQ(*co_result.leader, *cr.leader) << seed;
+    EXPECT_EQ(ids[*co_result.leader], cr.leader_id) << seed;
+  }
+}
+
+TEST(BaselinesExtended, ChangRobertsAverageCaseIsNLogN) {
+  // Random placements: expected candidate messages are ~n*H_n; assert the
+  // empirical mean over many shuffles sits well below the n(n+1)/2 worst
+  // case and within a small factor of n*H_n.
+  const std::size_t n = 64;
+  double total = 0;
+  constexpr int kRuns = 40;
+  for (int r = 0; r < kRuns; ++r) {
+    const auto ids = test::shuffled(test::dense_ids(n),
+                                    static_cast<std::uint64_t>(r) + 1);
+    sim::GlobalFifoScheduler sched;
+    const auto result = chang_roberts(ids, sched);
+    ASSERT_TRUE(result.ok);
+    total += static_cast<double>(result.messages) - static_cast<double>(n);
+  }
+  const double mean_candidates = total / kRuns;
+  double harmonic = 0;
+  for (std::size_t i = 1; i <= n; ++i) harmonic += 1.0 / static_cast<double>(i);
+  const double expected = static_cast<double>(n) * harmonic;
+  EXPECT_LT(mean_candidates, 2.0 * expected);
+  EXPECT_GT(mean_candidates, 0.5 * expected);
+  EXPECT_LT(mean_candidates, static_cast<double>(n) * (n + 1) / 4);
+}
+
+TEST(BaselinesExtended, HirschbergSinclairPhaseStructure) {
+  // With 2^k-hop doubling, messages stay within the textbook 8n(log n + 1)
+  // even in the all-adversarial-schedule sweep.
+  const auto ids = test::shuffled(test::dense_ids(32), 9);
+  for (auto& named : sim::standard_schedulers(2)) {
+    const auto result = hirschberg_sinclair(ids, *named.scheduler);
+    ASSERT_TRUE(result.ok) << named.name;
+    EXPECT_LT(static_cast<double>(result.messages),
+              8.0 * 32 * (std::log2(32.0) + 1) + 8 * 32)
+        << named.name;
+  }
+}
+
+TEST(BaselinesExtended, PetersonHalvesActivesPerPhase) {
+  // Message count <= 2 n ceil(log2 n) + 3n (candidates) + n (announce).
+  for (const std::size_t n : {4u, 16u, 64u, 128u}) {
+    const auto ids = test::shuffled(test::dense_ids(n), n + 1);
+    sim::GlobalFifoScheduler sched;
+    const auto result = peterson(ids, sched);
+    ASSERT_TRUE(result.ok);
+    const double bound =
+        2.0 * static_cast<double>(n) * std::ceil(std::log2(n)) +
+        4.0 * static_cast<double>(n);
+    EXPECT_LT(static_cast<double>(result.messages), bound) << n;
+  }
+}
+
+TEST(BaselinesExtended, FranklinMatchesPetersonOrderOfMagnitude) {
+  const auto ids = test::shuffled(test::dense_ids(64), 4);
+  sim::GlobalFifoScheduler s0, s1;
+  const auto pe = peterson(ids, s0);
+  const auto fr = franklin(ids, s1);
+  ASSERT_TRUE(pe.ok && fr.ok);
+  EXPECT_LT(fr.messages, 3 * pe.messages);
+  EXPECT_LT(pe.messages, 3 * fr.messages);
+}
+
+TEST(BaselinesExtended, ItaiRodehTwoNodes) {
+  // n = 2 maximizes collision probability; the algorithm must still always
+  // elect exactly one leader (Las Vegas), possibly over several phases.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    sim::RandomScheduler sched(seed);
+    const auto result = itai_rodeh(2, seed, sched);
+    ASSERT_TRUE(result.ok) << seed;
+  }
+}
+
+TEST(BaselinesExtended, ItaiRodehSchedulerSweep) {
+  for (auto& named : sim::standard_schedulers(3)) {
+    const auto result = itai_rodeh(7, 99, *named.scheduler);
+    ASSERT_TRUE(result.ok) << named.name;
+  }
+}
+
+TEST(BaselinesExtended, LateDeliveriesOnlyWhereExpected) {
+  // LeLann, Chang-Roberts, and Peterson terminate cleanly on a ring;
+  // Hirschberg-Sinclair may legitimately strand defeated probes behind the
+  // announcement (content-carrying algorithms can discard them — paper
+  // §1.1's contrast).
+  const auto ids = test::shuffled(test::dense_ids(16), 21);
+  sim::GlobalFifoScheduler s0, s1, s2;
+  EXPECT_EQ(lelann(ids, s0).late_deliveries, 0u);
+  EXPECT_EQ(chang_roberts(ids, s1).late_deliveries, 0u);
+  EXPECT_EQ(peterson(ids, s2).late_deliveries, 0u);
+}
+
+TEST(BaselinesExtended, BitCostsScaleWithIdWidth) {
+  // Same ring shape, IDs shifted up by a factor 2^20: message counts are
+  // identical, bit counts grow.
+  std::vector<std::uint64_t> small = test::shuffled(test::dense_ids(12), 3);
+  std::vector<std::uint64_t> big = small;
+  for (auto& id : big) id += (1ull << 20);
+  sim::GlobalFifoScheduler s0, s1;
+  const auto r_small = chang_roberts(small, s0);
+  const auto r_big = chang_roberts(big, s1);
+  ASSERT_TRUE(r_small.ok && r_big.ok);
+  EXPECT_EQ(r_small.messages, r_big.messages);
+  EXPECT_GT(r_big.bits, r_small.bits);
+}
+
+TEST(BaselinesExtended, SingleNodeEveryAlgorithm) {
+  sim::GlobalFifoScheduler s0, s1, s2, s3, s4, s5;
+  EXPECT_TRUE(lelann({9}, s0).ok);
+  EXPECT_TRUE(chang_roberts({9}, s1).ok);
+  EXPECT_TRUE(hirschberg_sinclair({9}, s2).ok);
+  EXPECT_TRUE(peterson({9}, s3).ok);
+  EXPECT_TRUE(franklin({9}, s4).ok);
+  EXPECT_TRUE(itai_rodeh(1, 5, s5).ok);
+}
+
+}  // namespace
+}  // namespace colex::baselines

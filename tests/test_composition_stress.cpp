@@ -1,0 +1,300 @@
+// Stress tests for the Corollary 5 composition: sweeping ring sizes,
+// schedulers, applications (broadcast / gather / unique-ids / simulator),
+// and simulated algorithms with multi-message bursts, verifying exact
+// quiescent termination, attribution, and application correctness in every
+// combination.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "colib/apps.hpp"
+#include "colib/composed.hpp"
+#include "helpers.hpp"
+#include "sim/network.hpp"
+
+namespace colex::colib {
+namespace {
+
+template <typename App>
+const App& app_at(sim::PulseNetwork& net, sim::NodeId v) {
+  const auto* bus = net.automaton_as<ComposedNode>(v).bus();
+  return dynamic_cast<const App&>(bus->app());
+}
+
+TEST(CompositionStress, BroadcastAcrossSizesAndSchedulers) {
+  for (const std::size_t n : {1u, 2u, 3u, 5u, 9u}) {
+    const auto ids = test::shuffled(test::dense_ids(n), n + 3);
+    for (auto& named : sim::standard_schedulers(2)) {
+      sim::PulseNetwork net;
+      const auto result = run_composed_with_network(
+          ids,
+          [](sim::NodeId) { return std::make_unique<BroadcastApp>(777); },
+          *named.scheduler, {}, net);
+      ASSERT_TRUE(result.all_terminated) << named.name << " n=" << n;
+      ASSERT_TRUE(result.quiescent) << named.name << " n=" << n;
+      EXPECT_EQ(result.report.deliveries_to_terminated, 0u);
+      for (sim::NodeId v = 0; v < n; ++v) {
+        const auto& app = app_at<BroadcastApp>(net, v);
+        ASSERT_TRUE(app.received().has_value()) << named.name << " v=" << v;
+        EXPECT_EQ(*app.received(), 777u);
+        EXPECT_TRUE(app.halted());
+      }
+    }
+  }
+}
+
+TEST(CompositionStress, BroadcastCostFormula) {
+  // survey (n^2+n) + DATA(len(777)=10 bits -> n(2*10+3)) + HALT (2n).
+  const std::size_t n = 6;
+  const auto ids = test::shuffled(test::dense_ids(n), 2);
+  sim::GlobalFifoScheduler sched;
+  const auto result = run_composed(
+      ids, [](sim::NodeId) { return std::make_unique<BroadcastApp>(777); },
+      sched);
+  ASSERT_TRUE(result.all_terminated);
+  const std::uint64_t expected_bus = (n * n + n) + n * (2 * 10 + 3) + 2 * n;
+  EXPECT_EQ(result.bus_pulses, expected_bus);
+}
+
+TEST(CompositionStress, GatherZeroAndLargeValues) {
+  // Edge payloads: 0 encodes as the empty frame payload; ~0ull as 64 bits.
+  const std::vector<std::uint64_t> ids{4, 9, 2};
+  const std::vector<std::uint64_t> inputs{0, ~0ull, 5};
+  sim::PulseNetwork net;
+  sim::RandomScheduler sched(2);
+  const auto result = run_composed_with_network(
+      ids,
+      [&inputs](sim::NodeId v) {
+        return std::make_unique<GatherAllApp>(inputs[v]);
+      },
+      sched, {}, net);
+  ASSERT_TRUE(result.all_terminated);
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    const auto& app = app_at<GatherAllApp>(net, v);
+    ASSERT_TRUE(app.complete());
+    EXPECT_EQ(app.max_value(), ~0ull);
+    // Values indexed by offset from the leader (node 1).
+    EXPECT_EQ(*app.values()[0], inputs[1]);
+    EXPECT_EQ(*app.values()[1], inputs[2]);
+    EXPECT_EQ(*app.values()[2], inputs[0]);
+  }
+}
+
+/// A simulated algorithm that floods: every node sends `burst` messages to
+/// each neighbor at start and counts everything it receives. Exercises
+/// multi-message outboxes and many token rotations.
+class FloodSimNode final : public SimNode {
+ public:
+  explicit FloodSimNode(std::size_t burst) : burst_(burst) {}
+
+  void on_start(SimContext& ctx) override {
+    for (std::size_t i = 0; i < burst_; ++i) {
+      ctx.send(true, Bits{true});
+      if (ctx.ring_size() > 1) ctx.send(false, Bits{false});
+    }
+  }
+  void on_message(SimContext&, bool, const Bits&) override { ++received_; }
+
+  std::size_t received() const { return received_; }
+
+ private:
+  std::size_t burst_;
+  std::size_t received_ = 0;
+};
+
+TEST(CompositionStress, SimulatorHandlesMessageBursts) {
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9};
+  const std::size_t burst = 5;
+  sim::PulseNetwork net;
+  sim::RandomScheduler sched(8);
+  const auto result = run_composed_with_network(
+      ids,
+      [burst](sim::NodeId) {
+        return std::make_unique<SimulatorApp>(
+            std::make_unique<FloodSimNode>(burst));
+      },
+      sched, {}, net);
+  ASSERT_TRUE(result.all_terminated);
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    const auto& app = app_at<SimulatorApp>(net, v);
+    const auto& node = dynamic_cast<const FloodSimNode&>(app.node());
+    // Each node receives burst messages from each of its two neighbors.
+    EXPECT_EQ(node.received(), 2 * burst) << v;
+    EXPECT_EQ(app.messages_delivered(), 2 * burst) << v;
+  }
+}
+
+TEST(CompositionStress, SimulatorBurstsOnSelfLoopRing) {
+  sim::GlobalFifoScheduler sched;
+  sim::PulseNetwork net;
+  const auto result = run_composed_with_network(
+      {5},
+      [](sim::NodeId) {
+        return std::make_unique<SimulatorApp>(
+            std::make_unique<FloodSimNode>(3));
+      },
+      sched, {}, net);
+  ASSERT_TRUE(result.all_terminated);
+  const auto& app = app_at<SimulatorApp>(net, 0);
+  const auto& node = dynamic_cast<const FloodSimNode&>(app.node());
+  // n = 1: both neighbors are the node itself; it only sent CW bursts
+  // (ring_size() == 1 suppresses the CCW copies), each delivered to itself.
+  EXPECT_EQ(node.received(), 3u);
+}
+
+/// A simulated algorithm that stays passive forever: the silent-rotation
+/// halt must fire after exactly one full quiet rotation.
+class PassiveSimNode final : public SimNode {
+ public:
+  void on_start(SimContext&) override {}
+  void on_message(SimContext&, bool, const Bits&) override {}
+};
+
+TEST(CompositionStress, PassiveAlgorithmHaltsAfterOneSilentRotation) {
+  const std::vector<std::uint64_t> ids{4, 9, 2, 6};
+  const std::size_t n = ids.size();
+  sim::GlobalFifoScheduler sched;
+  const auto result = run_composed(
+      ids,
+      [](sim::NodeId) {
+        return std::make_unique<SimulatorApp>(
+            std::make_unique<PassiveSimNode>());
+      },
+      sched);
+  ASSERT_TRUE(result.all_terminated);
+  // Bus traffic: survey + marker (n^2+n), then the root passes n times
+  // (one silent rotation, n PASSes each costing n+1), then HALT (2n).
+  const std::uint64_t expected = (n * n + n) + n * (n + 1) + 2 * n;
+  EXPECT_EQ(result.bus_pulses, expected);
+}
+
+TEST(CompositionStress, UniqueIdsUnderEveryScheduler) {
+  const std::vector<std::uint64_t> ids{7, 12, 5, 9, 2, 11};
+  for (auto& named : sim::standard_schedulers(2)) {
+    sim::PulseNetwork net;
+    const auto result = run_composed_with_network(
+        ids, [](sim::NodeId) { return std::make_unique<UniqueIdsApp>(); },
+        *named.scheduler, {}, net);
+    ASSERT_TRUE(result.all_terminated) << named.name;
+    std::set<std::uint64_t> assigned;
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      assigned.insert(app_at<UniqueIdsApp>(net, v).assigned_id());
+    }
+    EXPECT_EQ(assigned.size(), ids.size()) << named.name;
+    EXPECT_EQ(*assigned.begin(), 1u) << named.name;
+    EXPECT_EQ(*assigned.rbegin(), ids.size()) << named.name;
+  }
+}
+
+TEST(CompositionStress, ElectionPhaseAlwaysExactInComposition) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto ids = test::sparse_ids(2 + seed % 6, 40, seed);
+    std::uint64_t id_max = 0;
+    for (const auto id : ids) id_max = std::max(id_max, id);
+    sim::RandomScheduler sched(seed);
+    const auto result = run_composed(
+        ids, [](sim::NodeId) { return std::make_unique<BroadcastApp>(1); },
+        sched);
+    ASSERT_TRUE(result.all_terminated) << seed;
+    EXPECT_EQ(result.election_pulses,
+              co::theorem1_pulses(ids.size(), id_max))
+        << seed;
+  }
+}
+
+
+TEST(CompositionStress, BusPhaseKeepsOnePulseInFlight) {
+  // The bus's core invariant: once every node has switched to phase 2, at
+  // most one pulse exists in the entire network at any instant (that is
+  // what makes a pulse's direction readable as a bit). Assert it at every
+  // event after the switch completes.
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9};
+  auto net = sim::PulseNetwork::ring(ids.size());
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    net.set_automaton(v, std::make_unique<ComposedNode>(
+                             ids[v], std::make_unique<GatherAllApp>(v + 1)));
+  }
+  bool bus_phase = false;
+  std::uint64_t checks = 0;
+  sim::RunOptions opts;
+  opts.on_event = [&](sim::PulseNetwork& n) {
+    if (!bus_phase) {
+      bool all_switched = true;
+      for (sim::NodeId v = 0; v < ids.size(); ++v) {
+        all_switched =
+            all_switched && n.automaton_as<ComposedNode>(v).bus() != nullptr;
+      }
+      // The moment the last node (the leader) switches, the network is
+      // empty except for the root's first survey pulse.
+      if (all_switched) bus_phase = true;
+    }
+    if (bus_phase) {
+      ASSERT_LE(n.in_transit(), 1u);
+      ++checks;
+    }
+  };
+  sim::RandomScheduler sched(5);
+  const auto report = net.run(sched, opts);
+  ASSERT_TRUE(report.all_terminated);
+  EXPECT_GT(checks, 100u);
+}
+
+/// Records the frame stream an app observes, for cross-node comparison.
+class RecordingApp final : public BusApp {
+ public:
+  void on_ready(std::size_t, std::size_t, bool is_root) override {
+    is_root_ = is_root;
+  }
+  void on_frame(std::size_t from, const Bits& payload) override {
+    frames_.emplace_back(from, payload);
+  }
+  void on_token(BusCtl& ctl) override {
+    // Root: one frame, one pass-around, then halt; others: echo a frame
+    // derived from their offset, then pass.
+    if (!sent_) {
+      sent_ = true;
+      ctl.send_frame(encode_u64(0xABC + frames_.size()));
+      return;
+    }
+    if (is_root_) {
+      ctl.halt();
+    } else {
+      ctl.pass();
+    }
+  }
+
+  const std::vector<std::pair<std::size_t, Bits>>& frames() const {
+    return frames_;
+  }
+
+ private:
+  bool is_root_ = false;
+  bool sent_ = false;
+  std::vector<std::pair<std::size_t, Bits>> frames_;
+};
+
+TEST(CompositionStress, EveryNodeDecodesTheIdenticalFrameStream) {
+  const std::vector<std::uint64_t> ids{4, 9, 2, 7, 5};
+  for (auto& named : sim::standard_schedulers(2)) {
+    sim::PulseNetwork net;
+    const auto result = run_composed_with_network(
+        ids, [](sim::NodeId) { return std::make_unique<RecordingApp>(); },
+        *named.scheduler, {}, net);
+    ASSERT_TRUE(result.all_terminated) << named.name;
+    const auto& reference = app_at<RecordingApp>(net, 0).frames();
+    ASSERT_FALSE(reference.empty());
+    for (sim::NodeId v = 1; v < ids.size(); ++v) {
+      const auto& frames = app_at<RecordingApp>(net, v).frames();
+      ASSERT_EQ(frames.size(), reference.size())
+          << named.name << " node " << v;
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        EXPECT_EQ(frames[i].first, reference[i].first) << named.name;
+        EXPECT_EQ(frames[i].second, reference[i].second) << named.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colex::colib

@@ -1,0 +1,133 @@
+// Tests for the public façade (co/election.hpp): result predicates, the
+// exact-formula helpers, ground-truth port geometry, and precondition
+// enforcement.
+#include <gtest/gtest.h>
+
+#include "co/election.hpp"
+#include "helpers.hpp"
+
+namespace colex::co {
+namespace {
+
+TEST(Facade, FormulaHelpers) {
+  EXPECT_EQ(theorem1_pulses(1, 1), 3u);
+  EXPECT_EQ(theorem1_pulses(8, 20), 8u * 41u);
+  EXPECT_EQ(prop15_pulses(1, 1), 3u);
+  EXPECT_EQ(prop15_pulses(8, 20), 8u * 79u);
+  // The improved scheme always wins for IDmax > 1.
+  for (std::uint64_t idm = 2; idm < 40; ++idm) {
+    EXPECT_LT(theorem1_pulses(5, idm), prop15_pulses(5, idm));
+  }
+  EXPECT_EQ(theorem1_pulses(1, 1), prop15_pulses(1, 1));
+}
+
+TEST(Facade, ValidElectionPredicate) {
+  ElectionResult result;
+  result.nodes.resize(3);
+  result.nodes[0].role = Role::non_leader;
+  result.nodes[1].role = Role::leader;
+  result.nodes[2].role = Role::non_leader;
+  result.leader = 1;
+  result.leader_count = 1;
+  EXPECT_TRUE(result.valid_election());
+
+  result.leader_count = 2;
+  EXPECT_FALSE(result.valid_election());
+
+  result.leader_count = 1;
+  result.nodes[2].role = Role::undecided;
+  EXPECT_FALSE(result.valid_election());
+}
+
+TEST(Facade, PhysicalCwPortGeometry) {
+  EXPECT_EQ(physical_cw_port({}, 0), sim::Port::p1);
+  EXPECT_EQ(physical_cw_port({}, 5), sim::Port::p1);
+  EXPECT_EQ(physical_cw_port({false, true}, 0), sim::Port::p1);
+  EXPECT_EQ(physical_cw_port({false, true}, 1), sim::Port::p0);
+}
+
+TEST(Facade, RejectsEmptyIdVector) {
+  sim::GlobalFifoScheduler sched;
+  EXPECT_THROW(elect_oriented_terminating({}, sched),
+               util::ContractViolation);
+  EXPECT_THROW(elect_oriented_stabilizing({}, sched),
+               util::ContractViolation);
+  Alg3NonOriented::Options options;
+  EXPECT_THROW(elect_and_orient({}, {}, options, sched),
+               util::ContractViolation);
+}
+
+TEST(Facade, RejectsMismatchedFlipVector) {
+  sim::GlobalFifoScheduler sched;
+  Alg3NonOriented::Options options;
+  EXPECT_THROW(elect_and_orient({1, 2, 3}, {true}, options, sched),
+               util::ContractViolation);
+}
+
+TEST(Facade, NodeOutcomeSnapshotsMatchAlgorithmCounters) {
+  const std::vector<std::uint64_t> ids{5, 9, 2};
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_oriented_terminating(ids, sched);
+  ASSERT_EQ(result.nodes.size(), 3u);
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(result.nodes[v].id, ids[v]);
+    EXPECT_EQ(result.nodes[v].sigma_cw, result.nodes[v].rho_cw);
+    EXPECT_EQ(result.nodes[v].sigma_ccw, result.nodes[v].rho_ccw);
+  }
+  EXPECT_EQ(result.pulses,
+            3 * 9 + 3 * 10u);  // n*IDmax CW + n*(IDmax+1) CCW
+}
+
+TEST(Facade, StabilizingAndTerminatingAgree) {
+  // Same ring, both algorithms: identical leader, and alg2's CW-phase
+  // counters coincide with alg1's totals.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto ids = test::sparse_ids(4 + seed % 4, 60, seed);
+    sim::RandomScheduler s1(seed), s2(seed + 100);
+    const auto stab = elect_oriented_stabilizing(ids, s1);
+    const auto term = elect_oriented_terminating(ids, s2);
+    ASSERT_TRUE(stab.valid_election());
+    ASSERT_TRUE(term.valid_election());
+    EXPECT_EQ(*stab.leader, *term.leader);
+    for (std::size_t v = 0; v < ids.size(); ++v) {
+      EXPECT_EQ(stab.nodes[v].rho_cw, term.nodes[v].rho_cw);
+    }
+  }
+}
+
+TEST(Facade, OrientationAgreesBetweenAlg3AndGroundTruth) {
+  // On an ORIENTED ring (no flips), every node's declared CW port must be
+  // the physical Port1.
+  const std::vector<std::uint64_t> ids{5, 9, 2, 7};
+  Alg3NonOriented::Options options;
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_and_orient(ids, {}, options, sched);
+  ASSERT_TRUE(result.orientation_consistent);
+  for (std::size_t v = 0; v < ids.size(); ++v) {
+    EXPECT_EQ(result.cw_ports[v], sim::Port::p1);
+  }
+}
+
+TEST(Facade, ReportExposedForDiagnostics) {
+  const std::vector<std::uint64_t> ids{3, 6};
+  sim::GlobalFifoScheduler sched;
+  const auto result = elect_oriented_terminating(ids, sched);
+  EXPECT_EQ(result.report.sent, result.pulses);
+  EXPECT_GT(result.report.deliveries, 0u);
+  EXPECT_FALSE(result.report.hit_event_limit);
+  EXPECT_FALSE(result.report.stalled);
+}
+
+TEST(Facade, EventLimitSurfacesInResult) {
+  const std::vector<std::uint64_t> ids{1000, 2, 1};
+  sim::GlobalFifoScheduler sched;
+  sim::RunOptions opts;
+  opts.max_events = 50;  // far below the ~6000 needed
+  const auto result = elect_oriented_terminating(ids, sched, opts);
+  EXPECT_TRUE(result.report.hit_event_limit);
+  EXPECT_FALSE(result.quiescent);
+  EXPECT_FALSE(result.all_terminated);
+}
+
+}  // namespace
+}  // namespace colex::co

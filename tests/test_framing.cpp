@@ -1,0 +1,120 @@
+// Unit and fuzz tests for the bus frame codec in isolation.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "colib/framing.hpp"
+#include "util/rng.hpp"
+
+namespace colex::colib {
+namespace {
+
+std::vector<Frame> decode_all(const Bits& stream) {
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const bool bit : stream) {
+    if (auto frame = decoder.feed(bit)) frames.push_back(std::move(*frame));
+  }
+  EXPECT_TRUE(decoder.idle());
+  return frames;
+}
+
+TEST(Framing, PassRoundTrip) {
+  const auto frames = decode_all(encode_pass_frame());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].kind, Frame::Kind::pass);
+}
+
+TEST(Framing, HaltRoundTrip) {
+  const auto frames = decode_all(encode_halt_frame());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].kind, Frame::Kind::halt);
+}
+
+TEST(Framing, DataRoundTripIncludingEmptyPayload) {
+  for (const Bits& payload :
+       {Bits{}, Bits{true}, Bits{false}, Bits{true, false, true, true},
+        Bits(64, true), Bits(64, false)}) {
+    const auto frames = decode_all(encode_data_frame(payload));
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].kind, Frame::Kind::data);
+    EXPECT_EQ(frames[0].payload, payload);
+  }
+}
+
+TEST(Framing, EncodedDataLengthFormula) {
+  // 2 header bits + (L+1) unary length + L payload bits = 2L + 3.
+  for (std::size_t len : {0u, 1u, 5u, 31u}) {
+    EXPECT_EQ(encode_data_frame(Bits(len, true)).size(), 2 * len + 3);
+  }
+}
+
+TEST(Framing, BackToBackFrameSequences) {
+  Bits stream;
+  append(stream, encode_data_frame(Bits{true, true, false}));
+  append(stream, encode_pass_frame());
+  append(stream, encode_data_frame(Bits{}));
+  append(stream, encode_pass_frame());
+  append(stream, encode_halt_frame());
+  const auto frames = decode_all(stream);
+  ASSERT_EQ(frames.size(), 5u);
+  EXPECT_EQ(frames[0].kind, Frame::Kind::data);
+  EXPECT_EQ(frames[0].payload, (Bits{true, true, false}));
+  EXPECT_EQ(frames[1].kind, Frame::Kind::pass);
+  EXPECT_EQ(frames[2].kind, Frame::Kind::data);
+  EXPECT_TRUE(frames[2].payload.empty());
+  EXPECT_EQ(frames[3].kind, Frame::Kind::pass);
+  EXPECT_EQ(frames[4].kind, Frame::Kind::halt);
+}
+
+TEST(Framing, DecoderNotIdleMidFrame) {
+  FrameDecoder decoder;
+  EXPECT_TRUE(decoder.idle());
+  EXPECT_FALSE(decoder.feed(true).has_value());  // saw1
+  EXPECT_FALSE(decoder.idle());
+  EXPECT_FALSE(decoder.feed(true).has_value());  // entering length
+  EXPECT_FALSE(decoder.feed(true).has_value());  // L = 1
+  EXPECT_FALSE(decoder.feed(false).has_value());  // length terminator
+  EXPECT_FALSE(decoder.idle());
+  const auto frame = decoder.feed(true);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, Bits{true});
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(Framing, FuzzRandomFrameSequencesRoundTrip) {
+  // Encode random frame sequences, decode, and compare — 200 sequences of
+  // up to 50 frames with payloads up to 40 bits.
+  util::Xoshiro256StarStar rng(12345);
+  for (int round = 0; round < 200; ++round) {
+    std::deque<Frame> expected;
+    Bits stream;
+    const std::size_t count = 1 + rng.below(50);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto kind = rng.below(3);
+      if (kind == 0) {
+        expected.push_back(Frame{Frame::Kind::pass, {}});
+        append(stream, encode_pass_frame());
+      } else if (kind == 1) {
+        Bits payload(rng.below(41));
+        for (std::size_t b = 0; b < payload.size(); ++b) {
+          payload[b] = rng.bernoulli(0.5);
+        }
+        expected.push_back(Frame{Frame::Kind::data, payload});
+        append(stream, encode_data_frame(payload));
+      } else {
+        expected.push_back(Frame{Frame::Kind::halt, {}});
+        append(stream, encode_halt_frame());
+      }
+    }
+    const auto frames = decode_all(stream);
+    ASSERT_EQ(frames.size(), expected.size()) << "round " << round;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(frames[i].kind, expected[i].kind) << round << ":" << i;
+      EXPECT_EQ(frames[i].payload, expected[i].payload) << round << ":" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colex::colib

@@ -1,0 +1,206 @@
+// Heavy-duty property suite: the paper's invariants (co/invariants.hpp)
+// asserted after EVERY simulator event, across random ring sizes, ID
+// assignments, port scrambles, schedulers, and start interleavings. This is
+// the fuzzing backbone of the repository: hundreds of full executions, each
+// checked at every step.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "co/election.hpp"
+#include "co/invariants.hpp"
+#include "helpers.hpp"
+#include "sim/network.hpp"
+
+namespace colex::co {
+namespace {
+
+struct FuzzConfig {
+  std::size_t n;
+  std::vector<std::uint64_t> ids;
+  std::vector<bool> flips;
+  std::uint64_t seed;
+};
+
+FuzzConfig make_config(std::uint64_t seed, bool allow_duplicates) {
+  util::Xoshiro256StarStar rng(seed * 2654435761u + 1);
+  FuzzConfig cfg;
+  cfg.seed = seed;
+  cfg.n = 1 + rng.below(10);
+  if (allow_duplicates && rng.bernoulli(0.4)) {
+    cfg.ids.resize(cfg.n);
+    for (auto& id : cfg.ids) id = rng.in_range(1, 6);
+    // Lemma 16 covers arbitrary multisets; ensure at least one node exists.
+  } else {
+    cfg.ids = test::sparse_ids(cfg.n, 8 * cfg.n + 8, seed + 17);
+  }
+  cfg.flips = test::random_flips(cfg.n, seed + 29);
+  return cfg;
+}
+
+std::unique_ptr<sim::Scheduler> pick_scheduler(std::uint64_t seed) {
+  auto suite = sim::standard_schedulers(3, seed);
+  return std::move(suite[seed % suite.size()].scheduler);
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, Alg1InvariantsAtEveryEvent) {
+  const auto cfg = make_config(GetParam(), /*allow_duplicates=*/true);
+  std::uint64_t id_max = 0;
+  for (const auto id : cfg.ids) id_max = std::max(id_max, id);
+
+  auto net = sim::PulseNetwork::ring(cfg.n);
+  for (sim::NodeId v = 0; v < cfg.n; ++v) {
+    net.set_automaton(v, std::make_unique<Alg1Stabilizing>(cfg.ids[v]));
+  }
+  sim::RunOptions opts;
+  opts.interleave_starts = (cfg.seed % 3) == 0;
+  opts.interleave_seed = cfg.seed;
+  std::uint64_t checks = 0;
+  opts.on_event = [&](sim::PulseNetwork& n) {
+    for (sim::NodeId v = 0; v < cfg.n; ++v) {
+      if (!n.started(v)) continue;
+      const auto err =
+          check_alg1_invariants(n.automaton_as<Alg1Stabilizing>(v), id_max);
+      ASSERT_TRUE(err.empty()) << "node " << v << ": " << err;
+      ++checks;
+    }
+  };
+  auto sched = pick_scheduler(cfg.seed);
+  const auto report = net.run(*sched, opts);
+  ASSERT_TRUE(report.quiescent);
+  EXPECT_EQ(report.sent, cfg.n * id_max);  // Corollary 13
+  EXPECT_GT(checks, 0u);
+}
+
+TEST_P(FuzzSweep, Alg2InvariantsAtEveryEvent) {
+  const auto cfg = make_config(GetParam(), /*allow_duplicates=*/false);
+  std::uint64_t id_max = 0;
+  for (const auto id : cfg.ids) id_max = std::max(id_max, id);
+
+  auto net = sim::PulseNetwork::ring(cfg.n);
+  for (sim::NodeId v = 0; v < cfg.n; ++v) {
+    net.set_automaton(v, std::make_unique<Alg2Terminating>(cfg.ids[v]));
+  }
+  sim::RunOptions opts;
+  opts.interleave_starts = (cfg.seed % 2) == 0;
+  opts.interleave_seed = cfg.seed * 3 + 1;
+  opts.on_event = [&](sim::PulseNetwork& n) {
+    for (sim::NodeId v = 0; v < cfg.n; ++v) {
+      if (!n.started(v)) continue;
+      const auto err =
+          check_alg2_invariants(n.automaton_as<Alg2Terminating>(v), id_max);
+      ASSERT_TRUE(err.empty()) << "node " << v << ": " << err;
+    }
+  };
+  auto sched = pick_scheduler(cfg.seed + 1000);
+  const auto report = net.run(*sched, opts);
+  ASSERT_TRUE(report.quiescent);
+  ASSERT_TRUE(report.all_terminated);
+  EXPECT_EQ(report.sent, theorem1_pulses(cfg.n, id_max));
+  EXPECT_EQ(report.deliveries_to_terminated, 0u);
+}
+
+TEST_P(FuzzSweep, Alg3InvariantsAtEveryEvent) {
+  const auto cfg = make_config(GetParam(), /*allow_duplicates=*/false);
+  const IdScheme scheme =
+      cfg.seed % 2 == 0 ? IdScheme::improved : IdScheme::doubled;
+  std::uint64_t id_max = 0;
+  for (const auto id : cfg.ids) id_max = std::max(id_max, id);
+
+  auto net = sim::PulseNetwork::ring(cfg.n, cfg.flips);
+  for (sim::NodeId v = 0; v < cfg.n; ++v) {
+    Alg3NonOriented::Options options;
+    options.scheme = scheme;
+    net.set_automaton(v,
+                      std::make_unique<Alg3NonOriented>(cfg.ids[v], options));
+  }
+  sim::RunOptions opts;
+  opts.on_event = [&](sim::PulseNetwork& n) {
+    for (sim::NodeId v = 0; v < cfg.n; ++v) {
+      if (!n.started(v)) continue;
+      const auto err =
+          check_alg3_invariants(n.automaton_as<Alg3NonOriented>(v), scheme);
+      ASSERT_TRUE(err.empty()) << "node " << v << ": " << err;
+    }
+  };
+  auto sched = pick_scheduler(cfg.seed + 2000);
+  const auto report = net.run(*sched, opts);
+  ASSERT_TRUE(report.quiescent);
+  const std::uint64_t expected = scheme == IdScheme::doubled
+                                     ? prop15_pulses(cfg.n, id_max)
+                                     : theorem1_pulses(cfg.n, id_max);
+  EXPECT_EQ(report.sent, expected);
+}
+
+TEST_P(FuzzSweep, ConservationLawHolds) {
+  // Network ground truth at every event: sent >= delivered >= consumed,
+  // and the algorithm-side counters agree with the network's totals.
+  const auto cfg = make_config(GetParam(), /*allow_duplicates=*/false);
+  auto net = sim::PulseNetwork::ring(cfg.n);
+  for (sim::NodeId v = 0; v < cfg.n; ++v) {
+    net.set_automaton(v, std::make_unique<Alg2Terminating>(cfg.ids[v]));
+  }
+  sim::RunOptions opts;
+  opts.on_event = [&](sim::PulseNetwork& n) {
+    ASSERT_GE(n.total_sent(), n.total_sent() - n.in_flight());
+    std::uint64_t algo_sent = 0, algo_received = 0;
+    for (sim::NodeId v = 0; v < cfg.n; ++v) {
+      const auto& k = n.automaton_as<Alg2Terminating>(v).counters();
+      algo_sent += k.sigma_cw + k.sigma_ccw;
+      algo_received += k.rho_cw + k.rho_ccw;
+    }
+    ASSERT_EQ(algo_sent, n.total_sent());
+    ASSERT_EQ(algo_sent - algo_received, n.in_transit());
+  };
+  auto sched = pick_scheduler(cfg.seed + 3000);
+  const auto report = net.run(*sched, opts);
+  ASSERT_TRUE(report.quiescent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(InvariantCheckers, DetectFabricatedViolations) {
+  // The checkers themselves must reject corrupt states (guards the guards).
+  EXPECT_FALSE(check_lemma6(5, 2, 2, true, "x").empty());   // sigma too low
+  EXPECT_FALSE(check_lemma6(5, 7, 8, true, "x").empty());   // sigma too high
+  EXPECT_TRUE(check_lemma6(5, 2, 3, true, "x").empty());
+  EXPECT_TRUE(check_lemma6(5, 7, 7, true, "x").empty());
+  EXPECT_FALSE(check_lemma6(5, 0, 3, false, "x").empty());  // unstarted sent
+}
+
+TEST(InvariantCheckers, FlagInjectedPulseInAlg1Run) {
+  // End-to-end: a model violation (injected pulse) must eventually trip an
+  // invariant checker.
+  const std::vector<std::uint64_t> ids{3, 5, 2};
+  auto net = sim::PulseNetwork::ring(ids.size());
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    net.set_automaton(v, std::make_unique<Alg1Stabilizing>(ids[v]));
+  }
+  bool injected = false, violation_seen = false;
+  int events = 0;
+  sim::RunOptions opts;
+  opts.max_events = 4000;
+  opts.on_event = [&](sim::PulseNetwork& n) {
+    if (++events == 4 && !injected) {
+      n.inject_fault(0);
+      injected = true;
+    }
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      if (!n.started(v)) continue;
+      if (!check_alg1_invariants(n.automaton_as<Alg1Stabilizing>(v), 5)
+               .empty()) {
+        violation_seen = true;
+      }
+    }
+  };
+  sim::GlobalFifoScheduler sched;
+  net.run(sched, opts);
+  EXPECT_TRUE(injected);
+  EXPECT_TRUE(violation_seen);
+}
+
+}  // namespace
+}  // namespace colex::co

@@ -1,0 +1,262 @@
+// Tests for the lower-bound machinery (paper §6): solitude patterns,
+// Lemma 22 uniqueness, Corollary 24 prefix groups, and the Theorem 4 bound.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "co/alg2.hpp"
+#include "co/election.hpp"
+#include "lb/solitude.hpp"
+#include "sim/network.hpp"
+
+namespace colex::lb {
+namespace {
+
+AutomatonFactory alg2_factory() {
+  return [](std::uint64_t id) -> std::unique_ptr<sim::PulseAutomaton> {
+    return std::make_unique<co::Alg2Terminating>(id);
+  };
+}
+
+TEST(Solitude, Alg2PatternHasKnownShape) {
+  // In solitude, Algorithm 2 with ID i receives i CW pulses, then i CCW
+  // pulses, then its own termination pulse: pattern 0^i 1^(i+1).
+  for (std::uint64_t id : {1u, 2u, 5u, 9u}) {
+    const auto p = solitude_pattern(alg2_factory(), id);
+    EXPECT_TRUE(p.terminated) << "id " << id;
+    EXPECT_TRUE(p.quiescent) << "id " << id;
+    std::string expected(id, '0');
+    expected += std::string(id + 1, '1');
+    EXPECT_EQ(p.bits, expected) << "id " << id;
+  }
+}
+
+TEST(Solitude, Lemma22PatternsAreUniqueOverWideRange) {
+  const auto patterns = solitude_patterns(alg2_factory(), 1, 512);
+  EXPECT_EQ(patterns.size(), 512u);
+  EXPECT_TRUE(all_patterns_distinct(patterns));
+}
+
+TEST(Solitude, PatternLengthMatchesSolitudeComplexity) {
+  // Pulses received in solitude equal pulses sent: 2*ID + 1 (Theorem 1 with
+  // n = 1).
+  for (std::uint64_t id = 1; id <= 64; ++id) {
+    const auto p = solitude_pattern(alg2_factory(), id);
+    EXPECT_EQ(p.bits.size(), 2 * id + 1);
+  }
+}
+
+TEST(Solitude, CommonPrefixHelper) {
+  EXPECT_EQ(common_prefix("0011", "0010"), 3u);
+  EXPECT_EQ(common_prefix("", "0010"), 0u);
+  EXPECT_EQ(common_prefix("111", "111"), 3u);
+  EXPECT_EQ(common_prefix("10", "01"), 0u);
+  EXPECT_EQ(common_prefix("01", "0111"), 2u);
+}
+
+TEST(Solitude, AllPatternsDistinctDetectsDuplicates) {
+  std::vector<SolitudePattern> ps(2);
+  ps[0].id = 1;
+  ps[0].bits = "0101";
+  ps[1].id = 2;
+  ps[1].bits = "0101";
+  EXPECT_FALSE(all_patterns_distinct(ps));
+  ps[1].bits = "0100";
+  EXPECT_TRUE(all_patterns_distinct(ps));
+}
+
+TEST(Solitude, BestPrefixGroupOnHandmadePatterns) {
+  std::vector<SolitudePattern> ps;
+  auto add = [&ps](std::uint64_t id, std::string bits) {
+    SolitudePattern p;
+    p.id = id;
+    p.bits = std::move(bits);
+    ps.push_back(std::move(p));
+  };
+  add(1, "0000");
+  add(2, "0001");
+  add(3, "0011");
+  add(4, "1111");
+  const auto g2 = best_prefix_group(ps, 2);
+  EXPECT_EQ(g2.prefix_length, 3u);  // "000" shared by ids 1 and 2
+  EXPECT_EQ(g2.ids.size(), 2u);
+  const auto g3 = best_prefix_group(ps, 3);
+  EXPECT_EQ(g3.prefix_length, 2u);  // "00" shared by ids 1, 2, 3
+  const auto g1 = best_prefix_group(ps, 1);
+  EXPECT_EQ(g1.prefix_length, 4u);  // any single full string
+}
+
+TEST(Solitude, Corollary24BoundHoldsForAlg2Patterns) {
+  // Among k distinct patterns there must be n sharing a prefix of length
+  // >= floor(log2(k/n)). Verify constructively for the real algorithm.
+  const std::uint64_t k = 256;
+  const auto patterns = solitude_patterns(alg2_factory(), 1, k);
+  for (std::size_t n : {1u, 2u, 4u, 8u, 32u}) {
+    const auto group = best_prefix_group(patterns, n);
+    EXPECT_GE(group.prefix_length,
+              co::theorem4_lower_bound(n, k) / n)  // = floor(log2(k/n))
+        << "n=" << n;
+    EXPECT_EQ(group.ids.size(), n);
+  }
+}
+
+TEST(Solitude, Theorem4BoundFormula) {
+  EXPECT_EQ(co::theorem4_lower_bound(1, 1), 0u);
+  EXPECT_EQ(co::theorem4_lower_bound(1, 2), 1u);
+  EXPECT_EQ(co::theorem4_lower_bound(1, 1024), 10u);
+  EXPECT_EQ(co::theorem4_lower_bound(4, 1024), 4u * 8u);
+  EXPECT_EQ(co::theorem4_lower_bound(3, 24), 3u * 3u);
+  EXPECT_EQ(co::theorem4_lower_bound(5, 5), 0u);
+  EXPECT_THROW(co::theorem4_lower_bound(4, 3), util::ContractViolation);
+}
+
+TEST(Solitude, AlgorithmComplexityDominatesTheorem4Bound) {
+  // Theorem 1's n(2*IDmax+1) always sits above Theorem 4's n*floor(log2(k/n))
+  // when k = IDmax IDs are assignable.
+  for (std::uint64_t n : {1u, 2u, 8u}) {
+    for (std::uint64_t k : {8u, 64u, 4096u}) {
+      if (k < n) continue;
+      EXPECT_GE(co::theorem1_pulses(n, k), co::theorem4_lower_bound(n, k));
+    }
+  }
+}
+
+TEST(Solitude, SharedPrefixForcesPulsesOnRealRing) {
+  // The Theorem 20 argument, executed: place n nodes whose solitude
+  // patterns share a prefix of length s on a ring; under the Definition 21
+  // scheduler each node individually replays its solitude pattern for at
+  // least s deliveries, so >= n*s pulses are forced before any divergence.
+  const std::uint64_t k = 64;
+  const std::size_t n = 4;
+  const auto patterns = solitude_patterns(alg2_factory(), 1, k);
+  const auto group = best_prefix_group(patterns, n);
+  const std::size_t s = group.prefix_length;
+  ASSERT_GE(s, co::theorem4_lower_bound(n, k) / n);
+
+  auto net = sim::PulseNetwork::ring(n);
+  for (sim::NodeId v = 0; v < n; ++v) {
+    net.set_automaton(v, std::make_unique<co::Alg2Terminating>(group.ids[v]));
+  }
+  std::vector<std::string> observed(n);
+  sim::RunOptions opts;
+  opts.on_deliver = [&observed](sim::NodeId v, sim::Port, sim::Direction d) {
+    observed[v].push_back(d == sim::Direction::cw ? '0' : '1');
+  };
+  sim::SolitudeScheduler sched;
+  const auto report = net.run(sched, opts);
+  ASSERT_TRUE(report.quiescent);
+  // Each node's first s observed pulses match its solitude pattern prefix.
+  std::uint64_t forced = 0;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    const auto& full = patterns[group.ids[v] - 1];
+    ASSERT_EQ(full.id, group.ids[v]);
+    ASSERT_GE(observed[v].size(), s);
+    EXPECT_EQ(observed[v].substr(0, s), full.bits.substr(0, s))
+        << "node " << v;
+    forced += s;
+  }
+  EXPECT_GE(report.sent, forced);
+  EXPECT_GE(report.sent, co::theorem4_lower_bound(n, k));
+}
+
+
+// A deliberately ID-oblivious "election": every node sends one CW pulse,
+// relays the next two, then claims leadership and terminates. Its solitude
+// pattern is identical for every ID — exactly the situation Lemma 22 rules
+// out for correct algorithms.
+class BrokenOblivious final : public sim::PulseAutomaton {
+ public:
+  void start(sim::PulseContext& ctx) override { ctx.send(sim::Port::p1); }
+  void react(sim::PulseContext& ctx) override {
+    while (!done_ && ctx.recv_pulse(sim::Port::p0)) {
+      ++received_;
+      if (received_ < 3) {
+        ctx.send(sim::Port::p1);
+      } else {
+        claims_leadership_ = true;
+        done_ = true;
+      }
+    }
+  }
+  bool terminated() const override { return done_; }
+  bool claims_leadership() const { return claims_leadership_; }
+
+ private:
+  int received_ = 0;
+  bool done_ = false;
+  bool claims_leadership_ = false;
+};
+
+AutomatonFactory broken_factory() {
+  return [](std::uint64_t) -> std::unique_ptr<sim::PulseAutomaton> {
+    return std::make_unique<BrokenOblivious>();
+  };
+}
+
+TEST(Lemma22, IdObliviousAlgorithmHasCollidingPatterns) {
+  const auto patterns = solitude_patterns(broken_factory(), 1, 16);
+  EXPECT_FALSE(all_patterns_distinct(patterns));
+  for (const auto& p : patterns) EXPECT_EQ(p.bits, "000");
+}
+
+TEST(Lemma22, CollidingPatternsMakeBothNodesReplayAndBothWin) {
+  // The lemma's contradiction, executed: two nodes whose solitude patterns
+  // coincide replay them verbatim on the 2-ring and both claim leadership.
+  auto net = sim::PulseNetwork::ring(2);
+  net.set_automaton(0, std::make_unique<BrokenOblivious>());
+  net.set_automaton(1, std::make_unique<BrokenOblivious>());
+  std::string obs[2];
+  sim::RunOptions opts;
+  opts.on_deliver = [&obs](sim::NodeId v, sim::Port, sim::Direction d) {
+    obs[v].push_back(d == sim::Direction::cw ? '0' : '1');
+  };
+  sim::SolitudeScheduler sched;
+  const auto report = net.run(sched, opts);
+  ASSERT_TRUE(report.quiescent);
+  EXPECT_EQ(obs[0], "000");  // identical to the solitude pattern
+  EXPECT_EQ(obs[1], "000");
+  EXPECT_TRUE(net.automaton_as<BrokenOblivious>(0).claims_leadership());
+  EXPECT_TRUE(net.automaton_as<BrokenOblivious>(1).claims_leadership());
+}
+
+TEST(Lemma22, CorrectAlgorithmDivergesAfterSharedPrefix) {
+  // For Algorithm 2, distinct IDs mean distinct patterns; on the 2-ring the
+  // nodes track their solitude behaviour only up to the shared prefix and
+  // the run still elects exactly one leader.
+  const std::uint64_t id_a = 5, id_b = 9;
+  const auto pa = solitude_pattern(alg2_factory(), id_a);
+  const auto pb = solitude_pattern(alg2_factory(), id_b);
+  const std::size_t shared = common_prefix(pa.bits, pb.bits);
+  EXPECT_EQ(shared, 5u);  // patterns 0^5 1^6 and 0^9 1^10 share 0^5
+
+  const auto obs = two_node_observation(alg2_factory(), id_a, id_b);
+  ASSERT_TRUE(obs.quiescent);
+  ASSERT_FALSE(obs.hit_event_limit);
+  EXPECT_EQ(obs.observed_a.substr(0, shared), pa.bits.substr(0, shared));
+  EXPECT_EQ(obs.observed_b.substr(0, shared), pb.bits.substr(0, shared));
+  // Total traffic in the 2-ring run follows Theorem 1: each node receives
+  // IDmax CW + IDmax+1 CCW pulses.
+  EXPECT_EQ(obs.observed_a.size(), 9u + 10u);
+  EXPECT_EQ(obs.observed_b.size(), 9u + 10u);
+}
+
+TEST(Lemma22, TwoNodeObservationSweep) {
+  // Every ID pair behaves like its solitude execution for exactly the
+  // shared-prefix length under the Definition 21 scheduler.
+  for (std::uint64_t a = 1; a <= 6; ++a) {
+    for (std::uint64_t b = a + 1; b <= 7; ++b) {
+      const auto pa = solitude_pattern(alg2_factory(), a);
+      const auto pb = solitude_pattern(alg2_factory(), b);
+      const std::size_t shared = common_prefix(pa.bits, pb.bits);
+      const auto obs = two_node_observation(alg2_factory(), a, b);
+      ASSERT_TRUE(obs.quiescent) << a << "," << b;
+      EXPECT_EQ(obs.observed_a.substr(0, shared),
+                pa.bits.substr(0, shared));
+      EXPECT_EQ(obs.observed_b.substr(0, shared),
+                pb.bits.substr(0, shared));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colex::lb

@@ -1,0 +1,160 @@
+// Tests for the Section 1.1 replication transformation: r+1 copies per
+// logical pulse, grouped consumption, tolerance of up to r stray leading
+// pulses per channel, and exactly (r+1)-fold message complexity.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "co/alg1.hpp"
+#include "co/alg2.hpp"
+#include "co/election.hpp"
+#include "co/replicated.hpp"
+#include "helpers.hpp"
+#include "sim/network.hpp"
+
+namespace colex::co {
+namespace {
+
+sim::PulseNetwork replicated_alg2_ring(const std::vector<std::uint64_t>& ids,
+                                       unsigned r) {
+  auto net = sim::PulseNetwork::ring(ids.size());
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    net.set_automaton(v, std::make_unique<ReplicatedAdapter>(
+                             std::make_unique<Alg2Terminating>(ids[v]), r));
+  }
+  return net;
+}
+
+void expect_replicated_election(const std::vector<std::uint64_t>& ids,
+                                unsigned r, sim::Scheduler& sched,
+                                std::uint64_t strays_per_channel = 0,
+                                std::uint64_t allowed_late = 0) {
+  auto net = replicated_alg2_ring(ids, r);
+  std::uint64_t injected = 0;
+  if (strays_per_channel > 0) {
+    // Strays from a hypothetical preceding protocol: they sit at the head
+    // of each channel, before anything this protocol sends (FIFO).
+    for (std::size_t c = 0; c < net.channel_count(); ++c) {
+      for (std::uint64_t k = 0; k < strays_per_channel; ++k) {
+        net.inject_fault(c);
+        ++injected;
+      }
+    }
+  }
+  const auto report = net.run(sched);
+  ASSERT_TRUE(report.quiescent);
+  ASSERT_TRUE(report.all_terminated);
+  EXPECT_LE(report.deliveries_to_terminated, allowed_late);
+
+  std::uint64_t id_max = 0;
+  for (const auto id : ids) id_max = std::max(id_max, id);
+  std::size_t leaders = 0;
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    const auto& adapter = net.automaton_as<ReplicatedAdapter>(v);
+    const auto& alg = adapter.inner_as<Alg2Terminating>();
+    if (alg.role() == Role::leader) {
+      ++leaders;
+      EXPECT_EQ(alg.id(), id_max);
+    }
+    // The inner algorithm's logical counters match the unreplicated run.
+    EXPECT_EQ(alg.counters().rho_cw, id_max) << "node " << v;
+    EXPECT_EQ(alg.counters().rho_ccw, id_max + 1) << "node " << v;
+  }
+  EXPECT_EQ(leaders, 1u);
+  // Message complexity: exactly (r+1) * n(2*IDmax+1) plus the strays.
+  EXPECT_EQ(report.sent,
+            (r + 1) * theorem1_pulses(ids.size(), id_max) + injected);
+}
+
+TEST(Replicated, RZeroIsIdentity) {
+  sim::GlobalFifoScheduler sched;
+  expect_replicated_election({2, 4, 1, 3}, 0, sched);
+}
+
+TEST(Replicated, RFoldOverheadExact) {
+  for (const unsigned r : {1u, 2u, 3u}) {
+    sim::GlobalFifoScheduler sched;
+    expect_replicated_election({2, 4, 1, 3}, r, sched);
+  }
+}
+
+TEST(Replicated, WorksUnderEveryScheduler) {
+  for (auto& named : sim::standard_schedulers(3)) {
+    expect_replicated_election({6, 11, 3, 9, 1}, 2, *named.scheduler);
+  }
+}
+
+TEST(Replicated, ToleratesUpToRStrays) {
+  // Up to r stray leading pulses per channel must be absorbed by the
+  // grouping. (Strays left over at the end may reach terminated nodes;
+  // that is exactly the imperfection Section 1.1 accepts.)
+  for (const unsigned r : {1u, 2u, 3u}) {
+    for (std::uint64_t strays = 1; strays <= r; ++strays) {
+      sim::GlobalFifoScheduler sched;
+      const std::vector<std::uint64_t> ids{2, 4, 1, 3};
+      expect_replicated_election(ids, r, sched, strays,
+                                 /*allowed_late=*/strays * 2 * ids.size());
+    }
+  }
+}
+
+TEST(Replicated, SingleNodeRing) {
+  sim::GlobalFifoScheduler sched;
+  expect_replicated_election({5}, 2, sched);
+  sim::GlobalLifoScheduler lifo;
+  expect_replicated_election({5}, 1, lifo, 1, 4);
+}
+
+TEST(Replicated, MoreStraysThanRBreaksGrouping) {
+  // Negative control: r+1 strays shift a whole spurious logical pulse into
+  // the stream; the run can no longer be a faithful replica. Detectable as
+  // either a wrong election or inflated logical counters.
+  sim::GlobalFifoScheduler sched;
+  auto net = replicated_alg2_ring({2, 4, 1, 3}, 1);
+  for (std::size_t c = 0; c < net.channel_count(); ++c) {
+    net.inject_fault(c);
+    net.inject_fault(c);  // 2 strays > r = 1
+  }
+  sim::RunOptions opts;
+  opts.max_events = 200'000;
+  const auto report = net.run(sched, opts);
+  bool faithful = report.quiescent && !report.hit_event_limit;
+  if (faithful) {
+    for (sim::NodeId v = 0; v < 4; ++v) {
+      const auto& alg = net.automaton_as<ReplicatedAdapter>(v)
+                            .inner_as<Alg2Terminating>();
+      faithful = faithful && alg.counters().rho_cw == 4u;
+    }
+  }
+  EXPECT_FALSE(faithful);
+}
+
+TEST(Replicated, StabilizingAlg1AlsoReplicates) {
+  const std::vector<std::uint64_t> ids{5, 9, 2, 7};
+  for (const unsigned r : {0u, 2u}) {
+    auto net = sim::PulseNetwork::ring(ids.size());
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      net.set_automaton(v, std::make_unique<ReplicatedAdapter>(
+                               std::make_unique<Alg1Stabilizing>(ids[v]), r));
+    }
+    sim::RandomScheduler sched(r + 1);
+    const auto report = net.run(sched);
+    ASSERT_TRUE(report.quiescent);
+    EXPECT_EQ(report.sent, (r + 1) * ids.size() * 9u);
+    std::size_t leaders = 0;
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      const auto& alg = net.automaton_as<ReplicatedAdapter>(v)
+                            .inner_as<Alg1Stabilizing>();
+      if (alg.role() == Role::leader) ++leaders;
+      EXPECT_EQ(alg.counters().rho_cw, 9u);
+    }
+    EXPECT_EQ(leaders, 1u);
+  }
+}
+
+TEST(Replicated, RejectsNullInner) {
+  EXPECT_THROW(ReplicatedAdapter(nullptr, 1), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace colex::co

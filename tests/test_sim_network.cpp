@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "colex.hpp"
+
+namespace colex::sim {
+namespace {
+
+/// Sends one pulse from `out` at start; counts everything it receives.
+class SendOnce final : public PulseAutomaton {
+ public:
+  explicit SendOnce(Port out) : out_(out) {}
+  void start(PulseContext& ctx) override { ctx.send(out_); }
+  void react(PulseContext& ctx) override {
+    while (ctx.recv_pulse(Port::p0)) ++received_[0];
+    while (ctx.recv_pulse(Port::p1)) ++received_[1];
+  }
+  int received(Port p) const { return received_[index(p)]; }
+
+ private:
+  Port out_;
+  int received_[2] = {0, 0};
+};
+
+/// Forwards pulses from each port out the opposite port, up to a hop budget.
+class Relay final : public PulseAutomaton {
+ public:
+  explicit Relay(int budget) : budget_(budget) {}
+  void start(PulseContext&) override {}
+  void react(PulseContext& ctx) override {
+    for (Port in : {Port::p0, Port::p1}) {
+      while (ctx.recv_pulse(in)) {
+        ++consumed_;
+        if (budget_ > 0) {
+          --budget_;
+          ctx.send(opposite(in));
+        }
+      }
+    }
+  }
+  int consumed() const { return consumed_; }
+
+ private:
+  int budget_;
+  int consumed_ = 0;
+};
+
+/// Never consumes anything: its inbox fills up and the run stalls.
+class Sink final : public PulseAutomaton {
+ public:
+  void start(PulseContext&) override {}
+  void react(PulseContext&) override {}
+};
+
+/// Terminates immediately after start (used to exercise the violation
+/// accounting for deliveries to terminated nodes).
+class InstantTerminator final : public PulseAutomaton {
+ public:
+  void start(PulseContext&) override { done_ = true; }
+  void react(PulseContext&) override {}
+  bool terminated() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+/// Sends `burst` pulses out of Port1 at start, consumes everything later.
+class Burster final : public PulseAutomaton {
+ public:
+  explicit Burster(int burst) : burst_(burst) {}
+  void start(PulseContext& ctx) override {
+    for (int i = 0; i < burst_; ++i) ctx.send(Port::p1);
+  }
+  void react(PulseContext& ctx) override {
+    while (ctx.recv_pulse(Port::p0)) ++received_;
+    while (ctx.recv_pulse(Port::p1)) ++received_;
+  }
+  int received() const { return received_; }
+
+ private:
+  int burst_;
+  int received_ = 0;
+};
+
+TEST(RingWiring, OrientedPort1ReachesNextNodesPort0) {
+  auto net = PulseNetwork::ring(3);
+  net.set_automaton(0, std::make_unique<SendOnce>(Port::p1));
+  net.set_automaton(1, std::make_unique<SendOnce>(Port::p1));
+  net.set_automaton(2, std::make_unique<SendOnce>(Port::p1));
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched);
+  EXPECT_TRUE(report.quiescent);
+  EXPECT_EQ(report.sent, 3u);
+  // Each node sent one CW pulse; each node received exactly one at Port0.
+  for (NodeId v = 0; v < 3; ++v) {
+    const auto& a = net.automaton_as<SendOnce>(v);
+    EXPECT_EQ(a.received(Port::p0), 1) << "node " << v;
+    EXPECT_EQ(a.received(Port::p1), 0) << "node " << v;
+  }
+}
+
+TEST(RingWiring, SelfLoopSingleNode) {
+  auto net = PulseNetwork::ring(1);
+  net.set_automaton(0, std::make_unique<SendOnce>(Port::p1));
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched);
+  EXPECT_TRUE(report.quiescent);
+  // The pulse sent out of Port1 must come back to the node's own Port0.
+  EXPECT_EQ(net.automaton_as<SendOnce>(0).received(Port::p0), 1);
+  EXPECT_EQ(net.automaton_as<SendOnce>(0).received(Port::p1), 0);
+}
+
+TEST(RingWiring, TwoNodeRingHasParallelEdges) {
+  auto net = PulseNetwork::ring(2);
+  EXPECT_EQ(net.channel_count(), 4u);
+  net.set_automaton(0, std::make_unique<SendOnce>(Port::p1));
+  net.set_automaton(1, std::make_unique<SendOnce>(Port::p0));
+  GlobalFifoScheduler sched;
+  net.run(sched);
+  // Node 0 sent CW (edge 0) -> node 1's Port0. Node 1 sent out its Port0,
+  // which is attached to edge 0 as well -> node 0's Port1.
+  EXPECT_EQ(net.automaton_as<SendOnce>(1).received(Port::p0), 1);
+  EXPECT_EQ(net.automaton_as<SendOnce>(0).received(Port::p1), 1);
+}
+
+TEST(RingWiring, PortFlipSwapsLabels) {
+  // Node 1 is flipped: the CW pulse from node 0 arrives at node 1's Port1.
+  auto net = PulseNetwork::ring(3, {false, true, false});
+  net.set_automaton(0, std::make_unique<SendOnce>(Port::p1));
+  net.set_automaton(1, std::make_unique<Sink>());
+  net.set_automaton(2, std::make_unique<Sink>());
+  GlobalFifoScheduler sched;
+  net.run(sched);
+  EXPECT_EQ(net.inbox_size(1, Port::p1), 1u);
+  EXPECT_EQ(net.inbox_size(1, Port::p0), 0u);
+}
+
+TEST(RingWiring, FlippedNodeSendsBackwardsOnPort1) {
+  // Node 1 flipped: its Port1 is attached to the edge toward node 0.
+  auto net = PulseNetwork::ring(3, {false, true, false});
+  net.set_automaton(0, std::make_unique<Sink>());
+  net.set_automaton(1, std::make_unique<SendOnce>(Port::p1));
+  net.set_automaton(2, std::make_unique<Sink>());
+  GlobalFifoScheduler sched;
+  net.run(sched);
+  EXPECT_EQ(net.inbox_size(0, Port::p1), 1u);  // arrived back at node 0
+  EXPECT_EQ(net.inbox_size(2, Port::p0), 0u);
+}
+
+TEST(RingWiring, RejectsZeroNodes) {
+  EXPECT_THROW(PulseNetwork::ring(0), util::ContractViolation);
+}
+
+TEST(RingWiring, RejectsWrongFlipVectorSize) {
+  EXPECT_THROW(PulseNetwork::ring(3, {true}), util::ContractViolation);
+}
+
+TEST(Accounting, SentInTransitConsumed) {
+  auto net = PulseNetwork::ring(2);
+  net.set_automaton(0, std::make_unique<Burster>(5));
+  net.set_automaton(1, std::make_unique<Sink>());
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched);
+  EXPECT_EQ(report.sent, 5u);
+  EXPECT_EQ(net.total_sent(), 5u);
+  EXPECT_EQ(net.in_flight(), 0u);    // all delivered into node 1's inbox
+  EXPECT_EQ(net.in_transit(), 5u);   // but never consumed
+  EXPECT_FALSE(report.quiescent);
+  EXPECT_TRUE(report.stalled);
+}
+
+TEST(Accounting, QuiescentWhenAllConsumed) {
+  auto net = PulseNetwork::ring(2);
+  net.set_automaton(0, std::make_unique<Burster>(3));
+  net.set_automaton(1, std::make_unique<Burster>(2));
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched);
+  EXPECT_TRUE(report.quiescent);
+  EXPECT_FALSE(report.stalled);
+  EXPECT_EQ(net.in_transit(), 0u);
+  EXPECT_EQ(net.automaton_as<Burster>(0).received() +
+                net.automaton_as<Burster>(1).received(),
+            5);
+}
+
+TEST(Accounting, RelayBudgetedForwardingTerminatesQuiescent) {
+  auto net = PulseNetwork::ring(4);
+  net.set_automaton(0, std::make_unique<Burster>(1));
+  for (NodeId v = 1; v < 4; ++v) {
+    net.set_automaton(v, std::make_unique<Relay>(10));
+  }
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched);
+  EXPECT_TRUE(report.quiescent);
+  // 1 initial + up to 3 relays before returning to node 0 (which consumes).
+  EXPECT_EQ(report.sent, 4u);
+  EXPECT_EQ(net.automaton_as<Burster>(0).received(), 1);
+}
+
+TEST(Violations, DeliveryToTerminatedNodeIsCounted) {
+  auto net = PulseNetwork::ring(2);
+  net.set_automaton(0, std::make_unique<Burster>(2));
+  net.set_automaton(1, std::make_unique<InstantTerminator>());
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched);
+  EXPECT_EQ(report.deliveries_to_terminated, 2u);
+  // Ignored pulses are swallowed, so the network still drains.
+  EXPECT_TRUE(report.quiescent);
+}
+
+TEST(Violations, InjectFaultAddsForeignPulse) {
+  auto net = PulseNetwork::ring(2);
+  net.set_automaton(0, std::make_unique<Burster>(0));
+  net.set_automaton(1, std::make_unique<Burster>(0));
+  net.inject_fault(0);
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched);
+  EXPECT_EQ(net.injected(), 1u);
+  EXPECT_EQ(report.deliveries, 1u);
+  EXPECT_EQ(net.automaton_as<Burster>(1).received(), 1);
+}
+
+TEST(Violations, DropFaultRemovesPulse) {
+  auto net = PulseNetwork::ring(2);
+  net.set_automaton(0, std::make_unique<Burster>(1));
+  net.set_automaton(1, std::make_unique<Burster>(0));
+  // Run manually: start fills channel 0, then drop before delivery.
+  // Easiest deterministic route: drop right after sends by running with an
+  // on_event hook is racy with starts, so instead drop after construction by
+  // pre-loading the channel via inject and dropping it again.
+  net.inject_fault(0);
+  net.drop_fault(0);
+  EXPECT_EQ(net.dropped(), 1u);
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched);
+  // Only the Burster's own start pulse remains to be delivered.
+  EXPECT_EQ(report.deliveries, 1u);
+  EXPECT_TRUE(report.quiescent);
+}
+
+TEST(Runner, EventLimitIsReported) {
+  // Two relays with effectively unbounded budget bounce pulses forever.
+  auto net = PulseNetwork::ring(2);
+  net.set_automaton(0, std::make_unique<Burster>(1));
+  net.set_automaton(1, std::make_unique<Relay>(1 << 30));
+  // Node 0 consumes and does not forward, so give node 0 a Relay too.
+  net.set_automaton(0, std::make_unique<Relay>(1 << 30));
+  net.inject_fault(0);  // seed one circulating pulse
+  RunOptions opts;
+  opts.max_events = 100;
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched, opts);
+  EXPECT_TRUE(report.hit_event_limit);
+  EXPECT_FALSE(report.quiescent);
+}
+
+TEST(Runner, InterleavedStartsStillDeliverEverything) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto net = PulseNetwork::ring(5);
+    for (NodeId v = 0; v < 5; ++v) {
+      net.set_automaton(v, std::make_unique<SendOnce>(Port::p1));
+    }
+    RunOptions opts;
+    opts.interleave_starts = true;
+    opts.interleave_seed = seed;
+    GlobalFifoScheduler sched;
+    const auto report = net.run(sched, opts);
+    EXPECT_TRUE(report.quiescent);
+    EXPECT_EQ(report.sent, 5u);
+    for (NodeId v = 0; v < 5; ++v) {
+      EXPECT_EQ(net.automaton_as<SendOnce>(v).received(Port::p0), 1);
+    }
+  }
+}
+
+TEST(Runner, OnEventFiresPerEvent) {
+  auto net = PulseNetwork::ring(3);
+  for (NodeId v = 0; v < 3; ++v) {
+    net.set_automaton(v, std::make_unique<SendOnce>(Port::p1));
+  }
+  int events = 0;
+  RunOptions opts;
+  opts.on_event = [&events](PulseNetwork&) { ++events; };
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched, opts);
+  EXPECT_EQ(events, 3 + 3);  // 3 starts + 3 deliveries
+  EXPECT_EQ(report.deliveries, 3u);
+}
+
+TEST(Runner, OnDeliverReportsPortAndDirection) {
+  auto net = PulseNetwork::ring(2);
+  net.set_automaton(0, std::make_unique<SendOnce>(Port::p1));  // CW
+  net.set_automaton(1, std::make_unique<SendOnce>(Port::p0));  // CCW
+  std::vector<Direction> dirs;
+  RunOptions opts;
+  opts.on_deliver = [&dirs](NodeId, Port, Direction d) { dirs.push_back(d); };
+  GlobalFifoScheduler sched;
+  net.run(sched, opts);
+  ASSERT_EQ(dirs.size(), 2u);
+  EXPECT_EQ(dirs[0], Direction::cw);
+  EXPECT_EQ(dirs[1], Direction::ccw);
+}
+
+TEST(Network, AutomatonAsRejectsWrongType) {
+  auto net = PulseNetwork::ring(1);
+  net.set_automaton(0, std::make_unique<Sink>());
+  EXPECT_THROW(net.automaton_as<Relay>(0), util::ContractViolation);
+}
+
+
+// --- payload-generic behaviour (used by the baselines) ------------------
+
+struct NumberedMsg {
+  int value = 0;
+};
+
+class NumberSink final : public Automaton<NumberedMsg> {
+ public:
+  void start(Context<NumberedMsg>&) override {}
+  void react(Context<NumberedMsg>& ctx) override {
+    while (auto m = ctx.recv(Port::p0)) received_.push_back(m->value);
+  }
+  const std::vector<int>& received() const { return received_; }
+
+ private:
+  std::vector<int> received_;
+};
+
+class NumberSource final : public Automaton<NumberedMsg> {
+ public:
+  explicit NumberSource(int count) : count_(count) {}
+  void start(Context<NumberedMsg>& ctx) override {
+    for (int i = 0; i < count_; ++i) ctx.send(Port::p1, NumberedMsg{i});
+  }
+  void react(Context<NumberedMsg>& ctx) override {
+    while (ctx.recv(Port::p0)) {
+    }
+  }
+
+ private:
+  int count_;
+};
+
+TEST(TypedPayloads, ContentSurvivesAndChannelsAreFifo) {
+  // The same network machinery with content-carrying payloads: values must
+  // arrive intact and in per-channel FIFO order under every scheduler.
+  for (auto& named : standard_schedulers(2)) {
+    auto net = Network<NumberedMsg>::ring(2);
+    net.set_automaton(0, std::make_unique<NumberSource>(10));
+    net.set_automaton(1, std::make_unique<NumberSink>());
+    const auto report = net.run(*named.scheduler);
+    ASSERT_TRUE(report.quiescent) << named.name;
+    const auto& got = net.automaton_as<NumberSink>(1).received();
+    ASSERT_EQ(got.size(), 10u) << named.name;
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i) << named.name;
+  }
+}
+
+TEST(TypedPayloads, UmbrellaHeaderCompiles) {
+  // colex.hpp must pull in the whole public API (checked by the include at
+  // the top of this translation unit being replaced transitively; here we
+  // just exercise a couple of symbols from distant modules).
+  EXPECT_EQ(co::theorem1_pulses(2, 2), 10u);
+  EXPECT_EQ(colib::encode_u64(5).size(), 3u);
+}
+
+}  // namespace
+}  // namespace colex::sim

@@ -1,0 +1,227 @@
+// Unit tests for the adversarial scheduler suite, driven directly through
+// hand-crafted ChannelView sets plus end-to-end determinism checks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "co/election.hpp"
+#include "sim/scheduler.hpp"
+
+namespace colex::sim {
+namespace {
+
+ChannelView view(std::size_t channel, std::size_t pending,
+                 std::uint64_t head_seq, std::uint64_t head_stamp,
+                 Direction dir) {
+  return ChannelView{channel, pending, head_seq, head_stamp, dir};
+}
+
+TEST(Schedulers, GlobalFifoPicksOldestSeq) {
+  GlobalFifoScheduler s;
+  EXPECT_EQ(s.pick({view(0, 1, 5, 1, Direction::cw),
+                    view(1, 1, 3, 1, Direction::ccw),
+                    view(2, 2, 9, 2, Direction::cw)}),
+            1u);
+}
+
+TEST(Schedulers, GlobalLifoPicksNewestSeq) {
+  GlobalLifoScheduler s;
+  EXPECT_EQ(s.pick({view(0, 1, 5, 1, Direction::cw),
+                    view(1, 1, 3, 1, Direction::ccw),
+                    view(2, 2, 9, 2, Direction::cw)}),
+            2u);
+}
+
+TEST(Schedulers, RandomIsDeterministicPerSeed) {
+  const std::vector<ChannelView> pending{view(0, 1, 1, 1, Direction::cw),
+                                         view(1, 1, 2, 1, Direction::ccw),
+                                         view(2, 1, 3, 1, Direction::cw)};
+  RandomScheduler a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.pick(pending), b.pick(pending));
+  a.reset();
+  RandomScheduler c(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.pick(pending), c.pick(pending));
+}
+
+TEST(Schedulers, RandomEventuallyPicksEveryChannel) {
+  const std::vector<ChannelView> pending{view(0, 1, 1, 1, Direction::cw),
+                                         view(1, 1, 2, 1, Direction::ccw),
+                                         view(2, 1, 3, 1, Direction::cw)};
+  RandomScheduler s(5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(s.pick(pending));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Schedulers, RoundRobinCycles) {
+  RoundRobinScheduler s;
+  const std::vector<ChannelView> pending{view(0, 1, 1, 1, Direction::cw),
+                                         view(2, 1, 2, 1, Direction::ccw),
+                                         view(5, 1, 3, 1, Direction::cw)};
+  EXPECT_EQ(s.pick(pending), 2u);  // first id greater than initial last_=0
+  EXPECT_EQ(s.pick(pending), 5u);
+  EXPECT_EQ(s.pick(pending), 0u);  // wraps
+  EXPECT_EQ(s.pick(pending), 2u);
+}
+
+TEST(Schedulers, DrainChannelSticksUntilEmpty) {
+  DrainChannelScheduler s;
+  // First call: picks the fullest channel (1).
+  EXPECT_EQ(s.pick({view(0, 2, 1, 1, Direction::cw),
+                    view(1, 5, 2, 1, Direction::ccw)}),
+            1u);
+  // Channel 1 still pending: stick with it.
+  EXPECT_EQ(s.pick({view(0, 7, 1, 1, Direction::cw),
+                    view(1, 1, 2, 1, Direction::ccw)}),
+            1u);
+  // Channel 1 drained: move to fullest remaining.
+  EXPECT_EQ(s.pick({view(0, 7, 1, 1, Direction::cw),
+                    view(3, 2, 9, 2, Direction::cw)}),
+            0u);
+}
+
+TEST(Schedulers, StarveCcwPrefersCwChannels) {
+  StarveDirectionScheduler s(Direction::ccw);
+  EXPECT_EQ(s.pick({view(0, 1, 1, 1, Direction::ccw),
+                    view(1, 1, 9, 3, Direction::cw)}),
+            1u);
+  // Only starved channels pending: deliver the oldest of them.
+  EXPECT_EQ(s.pick({view(0, 1, 4, 1, Direction::ccw),
+                    view(2, 1, 2, 1, Direction::ccw)}),
+            2u);
+}
+
+TEST(Schedulers, StarveCwPrefersCcwChannels) {
+  StarveDirectionScheduler s(Direction::cw);
+  EXPECT_EQ(s.pick({view(0, 1, 1, 1, Direction::cw),
+                    view(1, 1, 9, 3, Direction::ccw)}),
+            1u);
+}
+
+TEST(Schedulers, SolitudeOrdersByStampThenCwThenSeq) {
+  SolitudeScheduler s;
+  // Different stamps: earliest stamp wins even with larger seq.
+  EXPECT_EQ(s.pick({view(0, 1, 9, 1, Direction::ccw),
+                    view(1, 1, 2, 4, Direction::cw)}),
+            0u);
+  // Same stamp: CW beats CCW.
+  EXPECT_EQ(s.pick({view(0, 1, 1, 2, Direction::ccw),
+                    view(1, 1, 5, 2, Direction::cw)}),
+            1u);
+  // Same stamp and direction: lower seq.
+  EXPECT_EQ(s.pick({view(0, 1, 8, 2, Direction::cw),
+                    view(1, 1, 5, 2, Direction::cw)}),
+            1u);
+}
+
+TEST(Schedulers, EclipseStarvesItsChannel) {
+  EclipseScheduler s(2);
+  // Channel 2 is never chosen while anything else is pending.
+  EXPECT_EQ(s.pick({view(2, 5, 1, 1, Direction::cw),
+                    view(0, 1, 9, 3, Direction::ccw)}),
+            0u);
+  // ...even if it holds the oldest pulse.
+  EXPECT_EQ(s.pick({view(2, 5, 1, 1, Direction::cw),
+                    view(1, 1, 7, 2, Direction::cw),
+                    view(3, 1, 9, 3, Direction::ccw)}),
+            1u);
+  // Alone, it finally delivers.
+  EXPECT_EQ(s.pick({view(2, 5, 1, 1, Direction::cw)}), 2u);
+}
+
+TEST(Schedulers, BurstyIsDeterministicPerSeedAndAlwaysValid) {
+  const std::vector<ChannelView> pending{view(0, 3, 1, 1, Direction::cw),
+                                         view(4, 2, 2, 1, Direction::ccw),
+                                         view(7, 1, 3, 1, Direction::cw)};
+  BurstyScheduler a(9), b(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto pa = a.pick(pending);
+    EXPECT_EQ(pa, b.pick(pending));
+    EXPECT_TRUE(pa == 0 || pa == 4 || pa == 7);
+  }
+  a.reset();
+  BurstyScheduler c(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.pick(pending), c.pick(pending));
+}
+
+TEST(Schedulers, PickOnEmptyViolatesContract) {
+  GlobalFifoScheduler s;
+  EXPECT_THROW(s.pick({}), util::ContractViolation);
+}
+
+TEST(Schedulers, StandardSuiteHasUniqueNames) {
+  const auto suite = standard_schedulers(3);
+  EXPECT_EQ(suite.size(), 9u + 3u);
+  std::set<std::string> names;
+  for (const auto& s : suite) {
+    EXPECT_EQ(s.name, s.scheduler->name());
+    names.insert(s.name);
+  }
+  EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(Schedulers, IdenticalRunsAreBitReproducible) {
+  // The same algorithm + scheduler + seed must produce identical pulse
+  // traces; this underpins every exactness claim in the bench harness.
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9, 1, 7};
+  for (int rep = 0; rep < 2; ++rep) {
+    RandomScheduler s1(33), s2(33);
+    const auto a = co::elect_oriented_terminating(ids, s1);
+    const auto b = co::elect_oriented_terminating(ids, s2);
+    EXPECT_EQ(a.pulses, b.pulses);
+    EXPECT_EQ(a.report.deliveries, b.report.deliveries);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (std::size_t v = 0; v < a.nodes.size(); ++v) {
+      EXPECT_EQ(a.nodes[v].role, b.nodes[v].role);
+      EXPECT_EQ(a.nodes[v].rho_cw, b.nodes[v].rho_cw);
+      EXPECT_EQ(a.nodes[v].rho_ccw, b.nodes[v].rho_ccw);
+    }
+  }
+}
+
+
+TEST(Schedulers, RecordAndReplayReproduceARunExactly) {
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9, 1, 7};
+  RandomScheduler random(77);
+  RecordingScheduler recorder(random);
+  const auto original = co::elect_oriented_terminating(ids, recorder);
+  ASSERT_TRUE(original.valid_election());
+  ASSERT_FALSE(recorder.tape().empty());
+
+  ReplayScheduler replay(recorder.tape());
+  const auto replayed = co::elect_oriented_terminating(ids, replay);
+  EXPECT_EQ(replay.divergences(), 0u);
+  EXPECT_EQ(replayed.pulses, original.pulses);
+  EXPECT_EQ(replayed.report.deliveries, original.report.deliveries);
+  ASSERT_EQ(replayed.nodes.size(), original.nodes.size());
+  for (std::size_t v = 0; v < ids.size(); ++v) {
+    EXPECT_EQ(replayed.nodes[v].role, original.nodes[v].role);
+    EXPECT_EQ(replayed.nodes[v].rho_cw, original.nodes[v].rho_cw);
+    EXPECT_EQ(replayed.nodes[v].rho_ccw, original.nodes[v].rho_ccw);
+  }
+}
+
+TEST(Schedulers, ReplayFallsBackOnDivergentTape) {
+  // A tape from a different configuration cannot match; the replay must
+  // still complete via the FIFO fallback and count its divergences.
+  RandomScheduler random(5);
+  RecordingScheduler recorder(random);
+  co::elect_oriented_terminating({1, 2}, recorder);
+
+  ReplayScheduler replay(recorder.tape());
+  const auto result = co::elect_oriented_terminating({3, 9, 5, 2}, replay);
+  EXPECT_TRUE(result.valid_election());
+  EXPECT_GT(replay.divergences(), 0u);
+}
+
+TEST(Schedulers, RecorderResetClearsTape) {
+  GlobalFifoScheduler fifo;
+  RecordingScheduler recorder(fifo);
+  co::elect_oriented_stabilizing({2, 4}, recorder);
+  EXPECT_FALSE(recorder.tape().empty());
+  recorder.reset();
+  EXPECT_TRUE(recorder.tape().empty());
+}
+
+}  // namespace
+}  // namespace colex::sim

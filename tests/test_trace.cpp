@@ -1,0 +1,145 @@
+// Tests for the execution tracing and conservation-audit facility.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "co/alg2.hpp"
+#include "co/alg3.hpp"
+#include "co/election.hpp"
+#include "helpers.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace colex::sim {
+namespace {
+
+TEST(Trace, RecordsEverySendAndDelivery) {
+  const std::vector<std::uint64_t> ids{2, 4, 1};
+  auto net = PulseNetwork::ring(ids.size());
+  for (NodeId v = 0; v < ids.size(); ++v) {
+    net.set_automaton(v, std::make_unique<co::Alg2Terminating>(ids[v]));
+  }
+  TraceRecorder trace;
+  RunOptions opts;
+  trace.attach(net, opts);
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched, opts);
+  ASSERT_TRUE(report.quiescent);
+  EXPECT_EQ(trace.sends(), report.sent);
+  EXPECT_EQ(trace.deliveries(), report.deliveries);
+  EXPECT_EQ(trace.events().size(), report.sent + report.deliveries);
+  // Indices are the stream positions.
+  for (std::size_t i = 0; i < trace.events().size(); ++i) {
+    EXPECT_EQ(trace.events()[i].index, i);
+  }
+}
+
+TEST(Trace, AuditPassesOnCleanRunsAllSchedulers) {
+  const std::vector<std::uint64_t> ids{6, 11, 3, 9, 1};
+  for (auto& named : standard_schedulers(3)) {
+    auto net = PulseNetwork::ring(ids.size());
+    for (NodeId v = 0; v < ids.size(); ++v) {
+      net.set_automaton(v, std::make_unique<co::Alg2Terminating>(ids[v]));
+    }
+    TraceRecorder trace;
+    RunOptions opts;
+    trace.attach(net, opts);
+    const auto report = net.run(*named.scheduler, opts);
+    ASSERT_TRUE(report.quiescent) << named.name;
+    EXPECT_EQ(trace.audit(ring_wiring(ids.size())), "") << named.name;
+  }
+}
+
+TEST(Trace, AuditPassesOnScrambledRings) {
+  const std::vector<std::uint64_t> ids{5, 9, 2, 7};
+  const std::vector<bool> flips{true, false, true, true};
+  auto net = PulseNetwork::ring(ids.size(), flips);
+  for (NodeId v = 0; v < ids.size(); ++v) {
+    co::Alg3NonOriented::Options options;
+    net.set_automaton(v,
+                      std::make_unique<co::Alg3NonOriented>(ids[v], options));
+  }
+  TraceRecorder trace;
+  RunOptions opts;
+  trace.attach(net, opts);
+  RandomScheduler sched(5);
+  const auto report = net.run(sched, opts);
+  ASSERT_TRUE(report.quiescent);
+  EXPECT_EQ(trace.audit(ring_wiring(ids.size(), flips)), "");
+}
+
+TEST(Trace, AuditDetectsInjectedPulse) {
+  // An injected pulse was never sent by any node; the conservation audit
+  // must flag the channel that over-delivers.
+  const std::vector<std::uint64_t> ids{3, 5, 2};
+  auto net = PulseNetwork::ring(ids.size());
+  for (NodeId v = 0; v < ids.size(); ++v) {
+    net.set_automaton(v, std::make_unique<co::Alg2Terminating>(ids[v]));
+  }
+  TraceRecorder trace;
+  RunOptions opts;
+  trace.attach(net, opts);
+  opts.max_events = 2000;
+  bool injected = false;
+  auto previous = opts.on_event;
+  opts.on_event = [&](PulseNetwork& n) {
+    if (!injected && n.total_sent() >= 3) {
+      n.inject_fault(0);
+      injected = true;
+    }
+  };
+  GlobalFifoScheduler sched;
+  net.run(sched, opts);
+  ASSERT_TRUE(injected);
+  EXPECT_NE(trace.audit(ring_wiring(ids.size())), "");
+}
+
+TEST(Trace, ChainsPreviousDeliverHook) {
+  auto net = PulseNetwork::ring(2);
+  net.set_automaton(0, std::make_unique<co::Alg2Terminating>(1));
+  net.set_automaton(1, std::make_unique<co::Alg2Terminating>(2));
+  int external_hook_calls = 0;
+  RunOptions opts;
+  opts.on_deliver = [&external_hook_calls](NodeId, Port, Direction) {
+    ++external_hook_calls;
+  };
+  TraceRecorder trace;
+  trace.attach(net, opts);
+  GlobalFifoScheduler sched;
+  const auto report = net.run(sched, opts);
+  EXPECT_EQ(static_cast<std::uint64_t>(external_hook_calls),
+            report.deliveries);
+  EXPECT_EQ(trace.deliveries(), report.deliveries);
+}
+
+TEST(Trace, EventToString) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::deliver;
+  e.node = 3;
+  e.port = Port::p1;
+  e.dir = Direction::ccw;
+  e.index = 17;
+  const auto text = to_string(e);
+  EXPECT_NE(text.find("deliver"), std::string::npos);
+  EXPECT_NE(text.find("node=3"), std::string::npos);
+  EXPECT_NE(text.find("ccw"), std::string::npos);
+  EXPECT_NE(text.find("#17"), std::string::npos);
+}
+
+TEST(Trace, RingWiringMapsEndpointsBothWays) {
+  // Oriented 3-ring: a delivery at node 1's Port0 came from node 0's Port1.
+  const auto wiring = ring_wiring(3);
+  EXPECT_EQ(wiring(1, Port::p0), (std::pair<NodeId, Port>{0, Port::p1}));
+  EXPECT_EQ(wiring(0, Port::p1), (std::pair<NodeId, Port>{1, Port::p0}));
+  // Self-loop: node 0's two ports face each other.
+  const auto loop = ring_wiring(1);
+  EXPECT_EQ(loop(0, Port::p0), (std::pair<NodeId, Port>{0, Port::p1}));
+  EXPECT_EQ(loop(0, Port::p1), (std::pair<NodeId, Port>{0, Port::p0}));
+  // Flipped node 1 in a 3-ring: its labels swap.
+  const auto scrambled = ring_wiring(3, {false, true, false});
+  EXPECT_EQ(scrambled(1, Port::p1), (std::pair<NodeId, Port>{0, Port::p1}));
+  EXPECT_EQ(scrambled(1, Port::p0), (std::pair<NodeId, Port>{2, Port::p0}));
+}
+
+}  // namespace
+}  // namespace colex::sim

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace colex::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, IsDeterministicAndSeedSensitive) {
+  Xoshiro256StarStar a(7), b(7), c(8);
+  bool diverged = false;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256StarStar rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BelowRejectsZeroBound) {
+  Xoshiro256StarStar rng(3);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Xoshiro, InRangeInclusive) {
+  Xoshiro256StarStar rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.in_range(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(Xoshiro, Uniform01Range) {
+  Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, BelowIsRoughlyUniform) {
+  Xoshiro256StarStar rng(13);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::array<int, kBound> bucket{};
+  for (int i = 0; i < kSamples; ++i) ++bucket[rng.below(kBound)];
+  for (const int b : bucket) {
+    EXPECT_NEAR(b, kSamples / kBound, kSamples / kBound * 0.1);
+  }
+}
+
+TEST(Xoshiro, GeometricTrialsSupportStartsAtOne) {
+  Xoshiro256StarStar rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.geometric_trials(0.5), 1u);
+}
+
+TEST(Xoshiro, GeometricTrialsSureSuccessIsOne) {
+  Xoshiro256StarStar rng(19);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.geometric_trials(1.0), 1u);
+}
+
+TEST(Xoshiro, GeometricTrialsMeanMatches) {
+  // E[Geo(q)] = 1/q for the trials-until-success convention.
+  Xoshiro256StarStar rng(23);
+  const double q = 0.25;
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.geometric_trials(q));
+  }
+  EXPECT_NEAR(sum / kSamples, 1.0 / q, 0.05);
+}
+
+TEST(Xoshiro, GeometricTrialsTailMatches) {
+  // P(X > x) = (1-q)^x.
+  Xoshiro256StarStar rng(29);
+  const double q = 0.5;
+  constexpr int kSamples = 100000;
+  int exceed3 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.geometric_trials(q) > 3) ++exceed3;
+  }
+  EXPECT_NEAR(static_cast<double>(exceed3) / kSamples, 0.125, 0.01);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleElement) {
+  const Summary s = summarize({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+}
+
+TEST(Stats, KnownSample) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.p50, 2.0);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  const std::vector<double> sorted{10, 20, 30, 40, 50};
+  EXPECT_EQ(percentile_sorted(sorted, 0.0), 10.0);
+  EXPECT_EQ(percentile_sorted(sorted, 0.5), 30.0);
+  EXPECT_EQ(percentile_sorted(sorted, 1.0), 50.0);
+  EXPECT_EQ(percentile_sorted(sorted, 0.2), 10.0);
+  EXPECT_EQ(percentile_sorted(sorted, 0.21), 20.0);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, FixedFormatsDigits) {
+  EXPECT_EQ(Table::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fixed(2.0, 1), "2.0");
+}
+
+TEST(Contracts, ExpectsThrowsWithLocation) {
+  try {
+    COLEX_EXPECTS(false);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace colex::util
