@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_anonymous.dir/bench_e5_anonymous.cpp.o"
+  "CMakeFiles/bench_e5_anonymous.dir/bench_e5_anonymous.cpp.o.d"
+  "bench_e5_anonymous"
+  "bench_e5_anonymous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_anonymous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_schedulers.dir/bench_e6_schedulers.cpp.o"
+  "CMakeFiles/bench_e6_schedulers.dir/bench_e6_schedulers.cpp.o.d"
+  "bench_e6_schedulers"
+  "bench_e6_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_composition.dir/bench_e7_composition.cpp.o"
+  "CMakeFiles/bench_e7_composition.dir/bench_e7_composition.cpp.o.d"
+  "bench_e7_composition"
+  "bench_e7_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_nonunique.dir/bench_e9_nonunique.cpp.o"
+  "CMakeFiles/bench_e9_nonunique.dir/bench_e9_nonunique.cpp.o.d"
+  "bench_e9_nonunique"
+  "bench_e9_nonunique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_nonunique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_ring.dir/anonymous_ring.cpp.o"
+  "CMakeFiles/anonymous_ring.dir/anonymous_ring.cpp.o.d"
+  "anonymous_ring"
+  "anonymous_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

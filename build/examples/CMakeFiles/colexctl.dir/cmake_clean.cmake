@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colexctl.dir/colexctl.cpp.o"
+  "CMakeFiles/colexctl.dir/colexctl.cpp.o.d"
+  "colexctl"
+  "colexctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colexctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compose_compute.dir/compose_compute.cpp.o"
+  "CMakeFiles/compose_compute.dir/compose_compute.cpp.o.d"
+  "compose_compute"
+  "compose_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

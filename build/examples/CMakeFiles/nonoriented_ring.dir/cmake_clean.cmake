@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonoriented_ring.dir/nonoriented_ring.cpp.o"
+  "CMakeFiles/nonoriented_ring.dir/nonoriented_ring.cpp.o.d"
+  "nonoriented_ring"
+  "nonoriented_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonoriented_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

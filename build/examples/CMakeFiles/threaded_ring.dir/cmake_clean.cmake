@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_ring.dir/threaded_ring.cpp.o"
+  "CMakeFiles/threaded_ring.dir/threaded_ring.cpp.o.d"
+  "threaded_ring"
+  "threaded_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

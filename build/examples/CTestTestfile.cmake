@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "6" "3")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nonoriented "/root/repo/build/examples/nonoriented_ring" "5" "2")
+set_tests_properties(example_nonoriented PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_anonymous "/root/repo/build/examples/anonymous_ring" "6" "1.5" "10" "1")
+set_tests_properties(example_anonymous PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compose "/root/repo/build/examples/compose_compute" "5" "2")
+set_tests_properties(example_compose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_threaded "/root/repo/build/examples/threaded_ring" "5" "3")
+set_tests_properties(example_threaded PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_colexctl_elect "/root/repo/build/examples/colexctl" "elect" "--alg" "alg2" "--n" "6")
+set_tests_properties(example_colexctl_elect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_colexctl_solitude "/root/repo/build/examples/colexctl" "solitude" "--id" "7")
+set_tests_properties(example_colexctl_solitude PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_colexctl_baselines "/root/repo/build/examples/colexctl" "baselines" "--n" "8")
+set_tests_properties(example_colexctl_baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_colexctl_anonymous "/root/repo/build/examples/colexctl" "anonymous" "--n" "6" "--c" "1.0" "--seed" "3")
+set_tests_properties(example_colexctl_anonymous PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_playback "/root/repo/build/examples/trace_playback" "3" "7" "40")
+set_tests_properties(example_trace_playback PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_colexctl_explore "/root/repo/build/examples/colexctl" "explore" "--ids" "2,4")
+set_tests_properties(example_colexctl_explore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

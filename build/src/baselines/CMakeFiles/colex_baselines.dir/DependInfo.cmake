@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/chang_roberts.cpp" "src/baselines/CMakeFiles/colex_baselines.dir/chang_roberts.cpp.o" "gcc" "src/baselines/CMakeFiles/colex_baselines.dir/chang_roberts.cpp.o.d"
+  "/root/repo/src/baselines/franklin.cpp" "src/baselines/CMakeFiles/colex_baselines.dir/franklin.cpp.o" "gcc" "src/baselines/CMakeFiles/colex_baselines.dir/franklin.cpp.o.d"
+  "/root/repo/src/baselines/hirschberg_sinclair.cpp" "src/baselines/CMakeFiles/colex_baselines.dir/hirschberg_sinclair.cpp.o" "gcc" "src/baselines/CMakeFiles/colex_baselines.dir/hirschberg_sinclair.cpp.o.d"
+  "/root/repo/src/baselines/itai_rodeh.cpp" "src/baselines/CMakeFiles/colex_baselines.dir/itai_rodeh.cpp.o" "gcc" "src/baselines/CMakeFiles/colex_baselines.dir/itai_rodeh.cpp.o.d"
+  "/root/repo/src/baselines/lelann.cpp" "src/baselines/CMakeFiles/colex_baselines.dir/lelann.cpp.o" "gcc" "src/baselines/CMakeFiles/colex_baselines.dir/lelann.cpp.o.d"
+  "/root/repo/src/baselines/peterson.cpp" "src/baselines/CMakeFiles/colex_baselines.dir/peterson.cpp.o" "gcc" "src/baselines/CMakeFiles/colex_baselines.dir/peterson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/colex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/colex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

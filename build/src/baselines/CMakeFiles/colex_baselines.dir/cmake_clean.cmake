@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colex_baselines.dir/chang_roberts.cpp.o"
+  "CMakeFiles/colex_baselines.dir/chang_roberts.cpp.o.d"
+  "CMakeFiles/colex_baselines.dir/franklin.cpp.o"
+  "CMakeFiles/colex_baselines.dir/franklin.cpp.o.d"
+  "CMakeFiles/colex_baselines.dir/hirschberg_sinclair.cpp.o"
+  "CMakeFiles/colex_baselines.dir/hirschberg_sinclair.cpp.o.d"
+  "CMakeFiles/colex_baselines.dir/itai_rodeh.cpp.o"
+  "CMakeFiles/colex_baselines.dir/itai_rodeh.cpp.o.d"
+  "CMakeFiles/colex_baselines.dir/lelann.cpp.o"
+  "CMakeFiles/colex_baselines.dir/lelann.cpp.o.d"
+  "CMakeFiles/colex_baselines.dir/peterson.cpp.o"
+  "CMakeFiles/colex_baselines.dir/peterson.cpp.o.d"
+  "libcolex_baselines.a"
+  "libcolex_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colex_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

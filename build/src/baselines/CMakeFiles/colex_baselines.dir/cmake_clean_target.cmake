@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcolex_baselines.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/co/alg1.cpp" "src/co/CMakeFiles/colex_co.dir/alg1.cpp.o" "gcc" "src/co/CMakeFiles/colex_co.dir/alg1.cpp.o.d"
+  "/root/repo/src/co/alg2.cpp" "src/co/CMakeFiles/colex_co.dir/alg2.cpp.o" "gcc" "src/co/CMakeFiles/colex_co.dir/alg2.cpp.o.d"
+  "/root/repo/src/co/alg3.cpp" "src/co/CMakeFiles/colex_co.dir/alg3.cpp.o" "gcc" "src/co/CMakeFiles/colex_co.dir/alg3.cpp.o.d"
+  "/root/repo/src/co/election.cpp" "src/co/CMakeFiles/colex_co.dir/election.cpp.o" "gcc" "src/co/CMakeFiles/colex_co.dir/election.cpp.o.d"
+  "/root/repo/src/co/replicated.cpp" "src/co/CMakeFiles/colex_co.dir/replicated.cpp.o" "gcc" "src/co/CMakeFiles/colex_co.dir/replicated.cpp.o.d"
+  "/root/repo/src/co/sampling.cpp" "src/co/CMakeFiles/colex_co.dir/sampling.cpp.o" "gcc" "src/co/CMakeFiles/colex_co.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/colex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/colex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colex_co.dir/alg1.cpp.o"
+  "CMakeFiles/colex_co.dir/alg1.cpp.o.d"
+  "CMakeFiles/colex_co.dir/alg2.cpp.o"
+  "CMakeFiles/colex_co.dir/alg2.cpp.o.d"
+  "CMakeFiles/colex_co.dir/alg3.cpp.o"
+  "CMakeFiles/colex_co.dir/alg3.cpp.o.d"
+  "CMakeFiles/colex_co.dir/election.cpp.o"
+  "CMakeFiles/colex_co.dir/election.cpp.o.d"
+  "CMakeFiles/colex_co.dir/replicated.cpp.o"
+  "CMakeFiles/colex_co.dir/replicated.cpp.o.d"
+  "CMakeFiles/colex_co.dir/sampling.cpp.o"
+  "CMakeFiles/colex_co.dir/sampling.cpp.o.d"
+  "libcolex_co.a"
+  "libcolex_co.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colex_co.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

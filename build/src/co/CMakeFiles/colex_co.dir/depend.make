@@ -1,0 +1,2 @@
+# Empty dependencies file for colex_co.
+# This may be replaced when dependencies are built.

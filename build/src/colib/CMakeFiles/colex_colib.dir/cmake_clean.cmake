@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colex_colib.dir/apps.cpp.o"
+  "CMakeFiles/colex_colib.dir/apps.cpp.o.d"
+  "CMakeFiles/colex_colib.dir/bus.cpp.o"
+  "CMakeFiles/colex_colib.dir/bus.cpp.o.d"
+  "CMakeFiles/colex_colib.dir/composed.cpp.o"
+  "CMakeFiles/colex_colib.dir/composed.cpp.o.d"
+  "libcolex_colib.a"
+  "libcolex_colib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colex_colib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

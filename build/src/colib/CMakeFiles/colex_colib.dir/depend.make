@@ -1,0 +1,2 @@
+# Empty dependencies file for colex_colib.
+# This may be replaced when dependencies are built.

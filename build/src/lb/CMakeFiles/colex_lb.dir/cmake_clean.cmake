@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colex_lb.dir/solitude.cpp.o"
+  "CMakeFiles/colex_lb.dir/solitude.cpp.o.d"
+  "libcolex_lb.a"
+  "libcolex_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colex_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/automaton_host.cpp" "src/runtime/CMakeFiles/colex_runtime.dir/automaton_host.cpp.o" "gcc" "src/runtime/CMakeFiles/colex_runtime.dir/automaton_host.cpp.o.d"
+  "/root/repo/src/runtime/blocking_algs.cpp" "src/runtime/CMakeFiles/colex_runtime.dir/blocking_algs.cpp.o" "gcc" "src/runtime/CMakeFiles/colex_runtime.dir/blocking_algs.cpp.o.d"
+  "/root/repo/src/runtime/thread_ring.cpp" "src/runtime/CMakeFiles/colex_runtime.dir/thread_ring.cpp.o" "gcc" "src/runtime/CMakeFiles/colex_runtime.dir/thread_ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/co/CMakeFiles/colex_co.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/colex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/colex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

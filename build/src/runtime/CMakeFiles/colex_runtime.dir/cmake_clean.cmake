@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colex_runtime.dir/automaton_host.cpp.o"
+  "CMakeFiles/colex_runtime.dir/automaton_host.cpp.o.d"
+  "CMakeFiles/colex_runtime.dir/blocking_algs.cpp.o"
+  "CMakeFiles/colex_runtime.dir/blocking_algs.cpp.o.d"
+  "CMakeFiles/colex_runtime.dir/thread_ring.cpp.o"
+  "CMakeFiles/colex_runtime.dir/thread_ring.cpp.o.d"
+  "libcolex_runtime.a"
+  "libcolex_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colex_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

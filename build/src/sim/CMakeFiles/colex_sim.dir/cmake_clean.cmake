@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colex_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/colex_sim.dir/scheduler.cpp.o.d"
+  "libcolex_sim.a"
+  "libcolex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colex_util.dir/rng.cpp.o"
+  "CMakeFiles/colex_util.dir/rng.cpp.o.d"
+  "CMakeFiles/colex_util.dir/stats.cpp.o"
+  "CMakeFiles/colex_util.dir/stats.cpp.o.d"
+  "CMakeFiles/colex_util.dir/table.cpp.o"
+  "CMakeFiles/colex_util.dir/table.cpp.o.d"
+  "libcolex_util.a"
+  "libcolex_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colex_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

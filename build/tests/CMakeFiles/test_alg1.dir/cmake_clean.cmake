@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg1.dir/test_alg1.cpp.o"
+  "CMakeFiles/test_alg1.dir/test_alg1.cpp.o.d"
+  "test_alg1"
+  "test_alg1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg2.dir/test_alg2.cpp.o"
+  "CMakeFiles/test_alg2.dir/test_alg2.cpp.o.d"
+  "test_alg2"
+  "test_alg2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_automaton_host.dir/test_automaton_host.cpp.o"
+  "CMakeFiles/test_automaton_host.dir/test_automaton_host.cpp.o.d"
+  "test_automaton_host"
+  "test_automaton_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_automaton_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

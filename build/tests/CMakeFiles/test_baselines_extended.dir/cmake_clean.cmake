@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines_extended.dir/test_baselines_extended.cpp.o"
+  "CMakeFiles/test_baselines_extended.dir/test_baselines_extended.cpp.o.d"
+  "test_baselines_extended"
+  "test_baselines_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_colib.dir/test_colib.cpp.o"
+  "CMakeFiles/test_colib.dir/test_colib.cpp.o.d"
+  "test_colib"
+  "test_colib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_colib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composition_stress.dir/test_composition_stress.cpp.o"
+  "CMakeFiles/test_composition_stress.dir/test_composition_stress.cpp.o.d"
+  "test_composition_stress"
+  "test_composition_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composition_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

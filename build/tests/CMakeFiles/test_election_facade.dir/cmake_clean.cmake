@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_election_facade.dir/test_election_facade.cpp.o"
+  "CMakeFiles/test_election_facade.dir/test_election_facade.cpp.o.d"
+  "test_election_facade"
+  "test_election_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_election_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

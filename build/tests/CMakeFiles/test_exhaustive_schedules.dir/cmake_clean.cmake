@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exhaustive_schedules.dir/test_exhaustive_schedules.cpp.o"
+  "CMakeFiles/test_exhaustive_schedules.dir/test_exhaustive_schedules.cpp.o.d"
+  "test_exhaustive_schedules"
+  "test_exhaustive_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exhaustive_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

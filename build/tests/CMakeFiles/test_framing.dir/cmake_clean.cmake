@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_framing.dir/test_framing.cpp.o"
+  "CMakeFiles/test_framing.dir/test_framing.cpp.o.d"
+  "test_framing"
+  "test_framing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_framing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

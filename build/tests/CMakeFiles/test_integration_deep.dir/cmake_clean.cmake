@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_deep.dir/test_integration_deep.cpp.o"
+  "CMakeFiles/test_integration_deep.dir/test_integration_deep.cpp.o.d"
+  "test_integration_deep"
+  "test_integration_deep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replicated.dir/test_replicated.cpp.o"
+  "CMakeFiles/test_replicated.dir/test_replicated.cpp.o.d"
+  "test_replicated"
+  "test_replicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_schedulers.dir/test_sim_schedulers.cpp.o"
+  "CMakeFiles/test_sim_schedulers.dir/test_sim_schedulers.cpp.o.d"
+  "test_sim_schedulers"
+  "test_sim_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
