@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build + full test suite in the default configuration, then
+# again under ASan+UBSan, then the runtime (real-thread) tests under TSan.
+# Each configuration uses its own build tree so they never contaminate one
+# another. Exits non-zero on the first failing step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1" label="$2" test_filter="$3"
+  shift 3
+  echo "==> [$label] configure ($dir)"
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "==> [$label] build"
+  cmake --build "$dir" -j "$jobs"
+  echo "==> [$label] ctest $test_filter"
+  if [ -n "$test_filter" ]; then
+    (cd "$dir" && ctest --output-on-failure -j "$jobs" -R "$test_filter")
+  else
+    (cd "$dir" && ctest --output-on-failure -j "$jobs")
+  fi
+}
+
+# 1. Default configuration: full tier-1 suite.
+run_config build default ""
+
+# 2. ASan + UBSan: full suite (memory errors and UB anywhere).
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+run_config build-asan asan+ubsan "" \
+  -DCOLEX_ASAN=ON -DCOLEX_UBSAN=ON
+
+# 3. TSan: the tests that exercise real threads (ThreadRing runtime,
+#    automaton host, and the threaded fault/chaos harness).
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+run_config build-tsan tsan "test_runtime|test_runtime_faults|test_automaton_host" \
+  -DCOLEX_TSAN=ON
+
+echo "==> all configurations green"

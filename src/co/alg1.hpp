@@ -32,6 +32,16 @@ class Alg1Stabilizing final : public sim::PulseAutomaton {
   Role role() const { return role_; }
   const PulseCounters& counters() const { return counters_; }
 
+  /// Fault-injection only (sim/faults.hpp): overwrites the node's local
+  /// state as if a transient memory fault hit it. The paper makes no
+  /// self-stabilization claim — this API exists so the fault harness can
+  /// probe, experimentally, which corrupted states Algorithm 1 does and
+  /// does not stabilize from.
+  void load_corrupted_state(const PulseCounters& counters, Role role) {
+    counters_ = counters;
+    role_ = role;
+  }
+
  private:
   std::uint64_t id_;
   Role role_ = Role::undecided;

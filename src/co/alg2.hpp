@@ -35,6 +35,17 @@ class Alg2Terminating final : public sim::PulseAutomaton {
   /// initiated the termination pulse (must only ever be the leader).
   bool initiated_termination() const { return initiated_termination_; }
 
+  /// Fault-injection only (sim/faults.hpp): overwrites the node's counters
+  /// and role as if a transient memory fault hit it. Unlike the stabilizing
+  /// algorithms, Algorithm 2 *commits* (it terminates), so a corrupted
+  /// counter pair rho_cw = rho_ccw = ID makes a non-maximal node initiate
+  /// termination — the fault harness uses this to exhibit a committed
+  /// mis-election (safety violation), not just a stall.
+  void load_corrupted_state(const PulseCounters& counters, Role role) {
+    counters_ = counters;
+    role_ = role;
+  }
+
  private:
   /// One iteration of the paper's repeat-until loop (lines 3-18). Returns
   /// true if any progress was made (a pulse consumed or sent, or a state

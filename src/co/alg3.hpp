@@ -75,6 +75,18 @@ class Alg3NonOriented final : public sim::PulseAutomaton {
   /// report the latest computed value, initially Port1).
   sim::Port cw_port() const { return cw_port_; }
 
+  /// Fault-injection only (sim/faults.hpp): overwrites the per-port
+  /// counters as if a transient memory fault hit the node, so the fault
+  /// harness can probe which corrupted states Algorithm 3 stabilizes from.
+  /// The virtual IDs are left intact (they are code, not state).
+  void load_corrupted_state(const std::uint64_t rho[2],
+                            const std::uint64_t sigma[2]) {
+    for (const int i : {0, 1}) {
+      rho_[i] = rho[i];
+      sigma_[i] = sigma[i];
+    }
+  }
+
  private:
   void update_output();
 

@@ -67,6 +67,9 @@ class ReplicatedAdapter final : public sim::PulseAutomaton {
     void send(sim::Port p, sim::Pulse payload) override {
       for (unsigned i = 0; i <= adapter_.r_; ++i) outer_.send(p, payload);
     }
+    bool serialized_reactions() const override {
+      return outer_.serialized_reactions();
+    }
 
    private:
     sim::PulseContext& outer_;

@@ -20,6 +20,9 @@ class ThreadContext final : public sim::PulseContext {
   }
   using sim::PulseContext::send;
   void send(sim::Port p, sim::Pulse) override { io_.send(p); }
+  // Deliveries from peer threads land in the port queues while a react is
+  // executing; queue-contents invariants are not point-in-time sound here.
+  bool serialized_reactions() const override { return false; }
 
  private:
   NodeIo& io_;

@@ -155,7 +155,8 @@ BlockingOutcome run_alg3_blocking(NodeIo io, std::uint64_t id,
 
 ThreadRunResult run_on_threads(const std::vector<std::uint64_t>& ids,
                                const std::vector<bool>& port_flips,
-                               ThreadAlg alg, std::uint64_t timeout_ms) {
+                               ThreadAlg alg, std::uint64_t timeout_ms,
+                               ChaosScript chaos) {
   COLEX_EXPECTS(!ids.empty());
   const std::size_t n = ids.size();
   ThreadRing ring(n, port_flips);
@@ -167,31 +168,54 @@ ThreadRunResult run_on_threads(const std::vector<std::uint64_t>& ids,
   workers.reserve(n);
   for (sim::NodeId v = 0; v < n; ++v) {
     workers.emplace_back([&ring, &result, &ids, alg, v] {
-      NodeIo io = ring.io(v);
       BlockingOutcome out;
-      switch (alg) {
-        case ThreadAlg::alg1:
-          out = run_alg1_blocking(io, ids[v]);
-          break;
-        case ThreadAlg::alg2:
-          out = run_alg2_blocking(io, ids[v]);
-          break;
-        case ThreadAlg::alg3_doubled:
-          out = run_alg3_blocking(io, ids[v], co::IdScheme::doubled);
-          break;
-        case ThreadAlg::alg3_improved:
-          out = run_alg3_blocking(io, ids[v], co::IdScheme::improved);
-          break;
+      std::uint64_t restarts = 0;
+      for (;;) {
+        // Read the epoch before binding the io handle: if a crash slips in
+        // between, the handle is dead and the epoch comparison below still
+        // routes us into the recovery path.
+        const std::uint64_t epoch = ring.crash_epoch(v);
+        NodeIo io = ring.io(v);
+        switch (alg) {
+          case ThreadAlg::alg1:
+            out = run_alg1_blocking(io, ids[v]);
+            break;
+          case ThreadAlg::alg2:
+            out = run_alg2_blocking(io, ids[v]);
+            break;
+          case ThreadAlg::alg3_doubled:
+            out = run_alg3_blocking(io, ids[v], co::IdScheme::doubled);
+            break;
+          case ThreadAlg::alg3_improved:
+            out = run_alg3_blocking(io, ids[v], co::IdScheme::improved);
+            break;
+        }
+        if (ring.crash_epoch(v) == epoch) break;  // normal stop/termination
+        // The node crash-stopped mid-run: whatever the dead incarnation
+        // computed is gone with it.
+        out = BlockingOutcome{};
+        out.id = ids[v];
+        out.stopped = true;
+        if (!ring.await_recovery(v)) break;  // run ended while still down
+        ++restarts;  // recovered: re-run the algorithm from scratch
       }
+      out.restarts = restarts;
       result.outcomes[v] = out;
       ring.worker_finished();
     });
   }
 
+  std::thread chaos_thread;
+  if (chaos) chaos_thread = std::thread([&ring, &chaos] { chaos(ring); });
+
   result.completed = ring.monitor(timeout_ms);
+  if (chaos_thread.joinable()) chaos_thread.join();
   for (auto& w : workers) w.join();
 
   result.pulses = ring.total_sent();
+  result.crashes = ring.crashes();
+  result.recoveries = ring.recoveries();
+  if (!result.completed) result.stall_dump = ring.dump();
   for (sim::NodeId v = 0; v < n; ++v) {
     if (result.outcomes[v].role == co::Role::leader) {
       ++result.leader_count;

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "co/alg3.hpp"
@@ -26,6 +28,10 @@ struct BlockingOutcome {
   sim::Port cw_port = sim::Port::p1;   ///< Algorithm 3 orientation output
   bool terminated = false;  ///< returned via the algorithm's own exit (Alg 2)
   bool stopped = false;     ///< harness stop (quiescence) ended the run
+  /// Times this node crash-recovered and re-ran its algorithm from scratch.
+  /// A node that crashed and never recovered reports a default outcome with
+  /// `stopped` set: its local state died with it.
+  std::uint64_t restarts = 0;
 };
 
 /// Algorithm 1 on an oriented ring; runs until the harness signals
@@ -48,14 +54,32 @@ struct ThreadRunResult {
   bool completed = false;         ///< quiescence or natural termination
   std::size_t leader_count = 0;
   std::optional<sim::NodeId> leader;
+  std::uint64_t crashes = 0;      ///< crash() events during the run
+  std::uint64_t recoveries = 0;   ///< recover() events during the run
+  /// Non-empty iff the run timed out (`completed == false`): the watchdog's
+  /// per-node post-mortem (pending ports, sent/consumed counters, crash
+  /// flags) from ThreadRing::dump(), so a stalled run aborts with evidence
+  /// instead of hanging.
+  std::string stall_dump;
 };
+
+/// A fault script run concurrently with the algorithms, in its own thread:
+/// it may crash(), recover() and inject_pulse() on the live fabric. It
+/// deliberately races the workers — that nondeterminism is the point of
+/// exercising faults on real threads (the simulator side, sim/faults.hpp,
+/// covers the reproducible-schedule half).
+using ChaosScript = std::function<void(ThreadRing&)>;
 
 /// Spawns one thread per node, runs `alg`, monitors for quiescence /
 /// termination, joins, and aggregates results. `port_flips` must be empty
-/// for the oriented algorithms.
+/// for the oriented algorithms. `timeout_ms` is the watchdog budget: a run
+/// that exceeds it is aborted (never hangs) and `stall_dump` is filled in.
+/// A worker whose node crash-stops parks until recover() or stop; on
+/// recovery it re-runs the algorithm from scratch with erased state.
 ThreadRunResult run_on_threads(const std::vector<std::uint64_t>& ids,
                                const std::vector<bool>& port_flips,
                                ThreadAlg alg,
-                               std::uint64_t timeout_ms = 30'000);
+                               std::uint64_t timeout_ms = 30'000,
+                               ChaosScript chaos = {});
 
 }  // namespace colex::rt

@@ -1,16 +1,29 @@
 #include "runtime/thread_ring.hpp"
 
 #include <chrono>
+#include <sstream>
 #include <thread>
 
 namespace colex::rt {
 
-bool NodeIo::recv(sim::Port p) { return ring_.recv(self_, p); }
+bool NodeIo::dead() const { return ring_.crash_epoch(self_) != epoch_; }
+
+bool NodeIo::recv(sim::Port p) {
+  if (dead()) return false;
+  return ring_.recv(self_, p);
+}
 std::size_t NodeIo::pending(sim::Port p) const {
   return ring_.pending(self_, p);
 }
-void NodeIo::send(sim::Port p) { ring_.send(self_, p); }
-bool NodeIo::wait_any() { return ring_.wait_any(self_); }
+void NodeIo::send(sim::Port p) {
+  // A crashed incarnation cannot transmit; the pulse vanishes with the node.
+  if (dead()) return;
+  ring_.send(self_, p);
+}
+bool NodeIo::wait_any() {
+  if (dead()) return false;
+  return ring_.wait_any(self_);
+}
 
 ThreadRing::ThreadRing(std::size_t n, std::vector<bool> port_flips)
     : nodes_(n) {
@@ -35,15 +48,20 @@ ThreadRing::ThreadRing(std::size_t n, std::vector<bool> port_flips)
 bool ThreadRing::recv(sim::NodeId v, sim::Port p) {
   auto& node = nodes_[v];
   std::lock_guard<std::mutex> lock(node.mutex);
+  if (node.crashed.load()) return false;
   auto& q = node.pending[sim::index(p)];
   if (q == 0) return false;
   --q;
   consumed_.fetch_add(1);
+  node.consumed.fetch_add(1);
   return true;
 }
 
 void ThreadRing::send(sim::NodeId v, sim::Port p) {
   auto& self = nodes_[v];
+  // A crashed node transmits nothing, even if the caller's io handle was
+  // minted in the current epoch (crash landed before its first operation).
+  if (self.crashed.load()) return;
   const sim::NodeId to = self.peer[sim::index(p)];
   const sim::Port to_port = self.peer_port[sim::index(p)];
   auto& dest = nodes_[to];
@@ -52,6 +70,17 @@ void ThreadRing::send(sim::NodeId v, sim::Port p) {
     // sent_ is incremented inside the destination lock so that any observer
     // seeing sent_ == consumed_ is guaranteed no pulse is pending anywhere.
     sent_.fetch_add(1);
+    self.sent.fetch_add(1);
+    if (dest.crashed.load()) {
+      // Delivery to a crashed node is swallowed. It still counts as
+      // consumed so the conservation argument behind quiescence detection
+      // stays sound (otherwise a permanently crashed node would read as a
+      // forever-in-flight pulse and the run could never complete).
+      consumed_.fetch_add(1);
+      dest.consumed.fetch_add(1);
+      crash_lost_.fetch_add(1);
+      return;
+    }
     ++dest.pending[sim::index(to_port)];
   }
   dest.cv.notify_all();
@@ -66,14 +95,94 @@ std::size_t ThreadRing::pending(sim::NodeId v, sim::Port p) const {
 bool ThreadRing::wait_any(sim::NodeId v) {
   auto& node = nodes_[v];
   std::unique_lock<std::mutex> lock(node.mutex);
+  if (node.crashed.load()) return false;
   if (node.pending[0] != 0 || node.pending[1] != 0) return true;
   if (stop_.load()) return false;
+  // Wake on any epoch movement, not just `crashed`: a back-to-back
+  // crash()+recover() can clear the flag before this thread re-evaluates
+  // the predicate, and waiting on `crashed` alone would re-sleep through
+  // the whole crash — the incarnation would never notice it died.
+  const std::uint64_t e0 = node.crash_epoch.load();
   idle_.fetch_add(1);
-  node.cv.wait(lock, [&node, this] {
-    return node.pending[0] != 0 || node.pending[1] != 0 || stop_.load();
+  node.cv.wait(lock, [&node, this, e0] {
+    return node.pending[0] != 0 || node.pending[1] != 0 || stop_.load() ||
+           node.crash_epoch.load() != e0;
   });
   idle_.fetch_sub(1);
   return node.pending[0] != 0 || node.pending[1] != 0;
+}
+
+void ThreadRing::crash(sim::NodeId v) {
+  auto& node = nodes_[v];
+  std::uint64_t lost = 0;
+  {
+    std::lock_guard<std::mutex> lock(node.mutex);
+    COLEX_EXPECTS(!node.crashed.load());
+    node.crashed.store(true);
+    node.crash_epoch.fetch_add(1);
+    lost = node.pending[0] + node.pending[1];
+    node.pending[0] = 0;
+    node.pending[1] = 0;
+    // The lost pulses count as consumed: they are gone from the fabric.
+    consumed_.fetch_add(lost);
+    node.consumed.fetch_add(lost);
+  }
+  crash_lost_.fetch_add(lost);
+  crash_count_.fetch_add(1);
+  node.cv.notify_all();
+}
+
+void ThreadRing::recover(sim::NodeId v) {
+  auto& node = nodes_[v];
+  {
+    std::lock_guard<std::mutex> lock(node.mutex);
+    COLEX_EXPECTS(node.crashed.load());
+    node.crashed.store(false);
+  }
+  recovery_count_.fetch_add(1);
+  node.cv.notify_all();
+}
+
+bool ThreadRing::await_recovery(sim::NodeId v) {
+  auto& node = nodes_[v];
+  std::unique_lock<std::mutex> lock(node.mutex);
+  // Parking counts as catching up with the crash: a permanently crashed
+  // node must not block quiescence detection forever.
+  ack_epoch(v, node.crash_epoch.load());
+  awaiting_recovery_.fetch_add(1);
+  node.cv.wait(lock, [&node, this] {
+    return !node.crashed.load() || stop_.load();
+  });
+  awaiting_recovery_.fetch_sub(1);
+  return !stop_.load() && !node.crashed.load();
+}
+
+void ThreadRing::inject_pulse(sim::NodeId to, sim::Port p) {
+  auto& dest = nodes_[to];
+  {
+    std::lock_guard<std::mutex> lock(dest.mutex);
+    COLEX_EXPECTS(!dest.crashed.load());
+    sent_.fetch_add(1);
+    ++dest.pending[sim::index(p)];
+  }
+  injected_.fetch_add(1);
+  dest.cv.notify_all();
+}
+
+void ThreadRing::ack_epoch(sim::NodeId v, std::uint64_t epoch) {
+  // Monotonic max: a stale io() handle minted concurrently with a crash
+  // must not roll the acknowledgement backwards.
+  auto& acked = nodes_[v].acked_epoch;
+  std::uint64_t cur = acked.load();
+  while (cur < epoch && !acked.compare_exchange_weak(cur, epoch)) {
+  }
+}
+
+bool ThreadRing::all_epochs_acked() const {
+  for (const auto& node : nodes_) {
+    if (node.acked_epoch.load() < node.crash_epoch.load()) return false;
+  }
+  return true;
 }
 
 void ThreadRing::broadcast_stop() {
@@ -88,16 +197,28 @@ bool ThreadRing::monitor(std::uint64_t timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   const std::size_t n = nodes_.size();
+  auto accounted = [this] {
+    // Every worker is either blocked on an empty port, parked waiting for
+    // its crashed node to be recovered, or done.
+    return idle_.load() + awaiting_recovery_.load() + finished_.load();
+  };
+  auto quiescent = [&, this] {
+    // all_epochs_acked guards the crash-recovery window: right after a
+    // crash (or crash+recover) the worker may still be counted idle —
+    // parked on its condvar, woken but not yet scheduled — while its
+    // restart, and the fresh pulse that comes with it, is inevitable.
+    // Until the worker acknowledges the new incarnation (io() or
+    // await_recovery()), the fabric only *looks* quiet.
+    return accounted() == n && sent_.load() == consumed_.load() &&
+           all_epochs_acked();
+  };
   for (;;) {
     if (finished_.load() == n) return true;  // natural termination
-    const bool maybe_quiescent = idle_.load() + finished_.load() == n &&
-                                 sent_.load() == consumed_.load();
-    if (maybe_quiescent) {
+    if (quiescent()) {
       // Double-scan: re-observe after a pause to ride out races between a
       // send and the receiver waking up.
       std::this_thread::sleep_for(std::chrono::microseconds(300));
-      if (idle_.load() + finished_.load() == n &&
-          sent_.load() == consumed_.load()) {
+      if (quiescent()) {
         broadcast_stop();
         return true;
       }
@@ -108,6 +229,33 @@ bool ThreadRing::monitor(std::uint64_t timeout_ms) {
     }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
+}
+
+std::string ThreadRing::dump() const {
+  std::ostringstream os;
+  os << "thread-ring state: n=" << nodes_.size() << " sent=" << sent_.load()
+     << " consumed=" << consumed_.load() << " idle=" << idle_.load()
+     << " awaiting-recovery=" << awaiting_recovery_.load()
+     << " finished=" << finished_.load() << " crashes=" << crash_count_.load()
+     << " recoveries=" << recovery_count_.load()
+     << " crash-lost=" << crash_lost_.load()
+     << " injected=" << injected_.load() << "\n";
+  for (sim::NodeId v = 0; v < nodes_.size(); ++v) {
+    const auto& node = nodes_[v];
+    std::uint64_t p0 = 0;
+    std::uint64_t p1 = 0;
+    {
+      std::lock_guard<std::mutex> lock(node.mutex);
+      p0 = node.pending[0];
+      p1 = node.pending[1];
+    }
+    os << "  node " << v << ": pending[p0]=" << p0 << " pending[p1]=" << p1
+       << " sent=" << node.sent.load() << " consumed=" << node.consumed.load()
+       << (node.crashed.load() ? " CRASHED" : "")
+       << " epoch=" << node.crash_epoch.load()
+       << " acked=" << node.acked_epoch.load() << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace colex::rt

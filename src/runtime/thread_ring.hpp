@@ -13,12 +13,31 @@
 // termination-detection argument, executed with shared-memory atomics. This
 // mirrors what the omniscient simulator does and is test instrumentation,
 // never part of the algorithms.
+//
+// Fault hooks (mirroring sim/faults.hpp on real threads):
+//  * crash(v) / recover(v): crash-stop a node mid-run and optionally bring
+//    it back with *erased* local state. Crashing bumps the node's
+//    incarnation epoch; a NodeIo handle is bound to the epoch it was created
+//    under and goes permanently dead the moment the epoch moves on, so a
+//    worker thread that raced past the crash cannot smuggle pre-crash
+//    counters into the recovered node. Deliveries to a crashed node are
+//    swallowed (counted sent *and* consumed, so conservation-based
+//    quiescence detection stays sound).
+//  * inject_pulse(to, p): deposits a spurious pulse — the real-thread
+//    analogue of the simulator's FaultKind::spurious. Against Algorithm 1
+//    this manufactures a guaranteed livelock (n absorptions cannot cover
+//    n+1 pulses), which is how the stall watchdog is exercised.
+//  * The monitor already was a stall watchdog; dump() adds the post-mortem:
+//    per-node pending queues, per-node sent/consumed, crash flags, and the
+//    global counters, so a timed-out run aborts with evidence instead of
+//    hanging.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -31,6 +50,12 @@ class ThreadRing;
 /// The port interface a blocking algorithm sees: non-blocking receive,
 /// send, and a blocking wait for the next pulse (which the harness can
 /// interrupt once global quiescence is certain).
+///
+/// A NodeIo is one *incarnation* of the node: it is bound to the crash
+/// epoch current when ThreadRing::io() created it. If the node crashes, the
+/// handle goes dead — recv/wait_any return false, send is suppressed — even
+/// after a recover(), which starts a fresh incarnation that must obtain a
+/// fresh handle via io().
 class NodeIo {
  public:
   /// Consume one pulse from the incoming queue of `p` if available.
@@ -40,8 +65,8 @@ class NodeIo {
   void send(sim::Port p);
 
   /// Block until a pulse is available on either port. Returns false when
-  /// the harness has signalled stop (global quiescence / timeout); the
-  /// algorithm should then finalize its current state.
+  /// the harness has signalled stop (global quiescence / timeout) or this
+  /// incarnation has been crashed; the algorithm should then return.
   bool wait_any();
 
   /// Pulses delivered to port `p` and not yet consumed.
@@ -49,9 +74,12 @@ class NodeIo {
 
  private:
   friend class ThreadRing;
-  NodeIo(ThreadRing& ring, sim::NodeId self) : ring_(ring), self_(self) {}
+  NodeIo(ThreadRing& ring, sim::NodeId self, std::uint64_t epoch)
+      : ring_(ring), self_(self), epoch_(epoch) {}
+  bool dead() const;
   ThreadRing& ring_;
   sim::NodeId self_;
+  std::uint64_t epoch_;  // crash epoch this incarnation belongs to
 };
 
 /// Shared pulse fabric for an n-node ring (oriented or port-scrambled).
@@ -60,7 +88,13 @@ class ThreadRing {
   explicit ThreadRing(std::size_t n, std::vector<bool> port_flips = {});
 
   std::size_t size() const { return nodes_.size(); }
-  NodeIo io(sim::NodeId v) { return NodeIo(*this, v); }
+  /// Mints an io handle for the node's CURRENT incarnation, and records
+  /// that the worker has caught up with it (see acked_epoch below).
+  NodeIo io(sim::NodeId v) {
+    const std::uint64_t epoch = nodes_[v].crash_epoch.load();
+    ack_epoch(v, epoch);
+    return NodeIo(*this, v, epoch);
+  }
 
   std::uint64_t total_sent() const { return sent_.load(); }
   std::uint64_t total_consumed() const { return consumed_.load(); }
@@ -74,8 +108,52 @@ class ThreadRing {
   /// workers finished naturally, or quiescence is detected / the timeout
   /// expires (then `stop` is broadcast so blocked workers return). Returns
   /// true if stopping was due to quiescence or natural termination, false
-  /// on timeout.
+  /// on timeout — in which case dump() holds the post-mortem.
   bool monitor(std::uint64_t timeout_ms);
+
+  // --- Fault hooks (harness-side; mirror of sim/faults.hpp) -------------
+
+  /// Crash-stop node `v`: its pending pulses are lost, future deliveries
+  /// are swallowed, and its current NodeIo incarnation goes dead. The
+  /// worker thread notices (recv/wait_any fail), sees the epoch moved, and
+  /// parks in await_recovery(). Must not already be crashed.
+  void crash(sim::NodeId v);
+
+  /// Bring a crashed node back with no memory of its past incarnation.
+  /// The parked worker wakes and re-runs its algorithm from scratch
+  /// through a fresh io(v) handle. Must currently be crashed.
+  void recover(sim::NodeId v);
+
+  bool node_crashed(sim::NodeId v) const {
+    return nodes_[v].crashed.load();
+  }
+  /// Incarnation counter for `v`: bumped by every crash().
+  std::uint64_t crash_epoch(sim::NodeId v) const {
+    return nodes_[v].crash_epoch.load();
+  }
+
+  /// Worker-side: park until the node is recovered or the harness stops.
+  /// Returns true if the worker should re-run its algorithm (recovered),
+  /// false if the run is over (stop while still crashed).
+  bool await_recovery(sim::NodeId v);
+
+  /// Deposit one spurious pulse into `to`'s queue for port `p`, as if a
+  /// defective channel fired without a send. Counted in sent_ so that
+  /// conservation-based quiescence detection still requires the pulse to
+  /// be consumed — an unabsorbable injected pulse therefore keeps the ring
+  /// non-quiescent until the watchdog trips.
+  void inject_pulse(sim::NodeId to, sim::Port p);
+
+  std::uint64_t crashes() const { return crash_count_.load(); }
+  std::uint64_t recoveries() const { return recovery_count_.load(); }
+  std::uint64_t crash_lost() const { return crash_lost_.load(); }
+  std::uint64_t injected() const { return injected_.load(); }
+
+  /// Human-readable post-mortem of the fabric: global counters plus, per
+  /// node, the pending pulses on each port, per-node sent/consumed, and
+  /// the crash state. Safe to call at any time; intended for the watchdog
+  /// path (monitor() returned false).
+  std::string dump() const;
 
  private:
   friend class NodeIo;
@@ -87,6 +165,20 @@ class ThreadRing {
     // Wiring: sending out of port p delivers to peer[p] at peer_port[p].
     sim::NodeId peer[2] = {0, 0};
     sim::Port peer_port[2] = {sim::Port::p0, sim::Port::p0};
+    // Fault state. `crashed` gates delivery/consumption; `crash_epoch`
+    // counts incarnations so stale NodeIo handles can be fenced off.
+    // `acked_epoch` is the newest incarnation the worker thread has caught
+    // up with (set by io() and await_recovery()). Quiescence detection
+    // refuses to fire while any acked_epoch lags crash_epoch: the worker of
+    // a freshly crashed/recovered node may still be counted idle (parked on
+    // its condvar, not yet rescheduled) even though its restart — and the
+    // fresh initial pulse that comes with it — is inevitable.
+    std::atomic<bool> crashed{false};
+    std::atomic<std::uint64_t> crash_epoch{0};
+    std::atomic<std::uint64_t> acked_epoch{0};
+    // Per-node traffic counters (for the watchdog dump).
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> consumed{0};
   };
 
   bool recv(sim::NodeId v, sim::Port p);
@@ -94,13 +186,20 @@ class ThreadRing {
   bool wait_any(sim::NodeId v);
   std::size_t pending(sim::NodeId v, sim::Port p) const;
   void broadcast_stop();
+  void ack_epoch(sim::NodeId v, std::uint64_t epoch);
+  bool all_epochs_acked() const;
 
   std::vector<Node> nodes_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> consumed_{0};
   std::atomic<std::size_t> idle_{0};
+  std::atomic<std::size_t> awaiting_recovery_{0};
   std::atomic<std::size_t> finished_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> crash_count_{0};
+  std::atomic<std::uint64_t> recovery_count_{0};
+  std::atomic<std::uint64_t> crash_lost_{0};
+  std::atomic<std::uint64_t> injected_{0};
 };
 
 }  // namespace colex::rt

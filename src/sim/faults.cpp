@@ -1,0 +1,70 @@
+#include "sim/faults.hpp"
+
+namespace colex::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::drop: return "drop";
+    case FaultKind::duplicate: return "duplicate";
+    case FaultKind::spurious: return "spurious";
+    case FaultKind::crash: return "crash";
+    case FaultKind::recover: return "recover";
+    case FaultKind::corrupt: return "corrupt";
+  }
+  return "?";
+}
+
+TraceEvent::Kind trace_kind(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::drop: return TraceEvent::Kind::fault_drop;
+    case FaultKind::duplicate: return TraceEvent::Kind::fault_duplicate;
+    case FaultKind::spurious: return TraceEvent::Kind::fault_spurious;
+    case FaultKind::crash: return TraceEvent::Kind::fault_crash;
+    case FaultKind::recover: return TraceEvent::Kind::fault_recover;
+    case FaultKind::corrupt: return TraceEvent::Kind::fault_corrupt;
+  }
+  return TraceEvent::Kind::fault_corrupt;
+}
+
+const char* to_string(FaultOutcome outcome) {
+  switch (outcome) {
+    case FaultOutcome::recovered_correct: return "recovered-correct";
+    case FaultOutcome::stalled: return "stalled";
+    case FaultOutcome::diverged: return "diverged";
+    case FaultOutcome::safety_violated: return "safety-violated";
+  }
+  return "?";
+}
+
+FaultOutcome classify_outcome(const RunReport& report,
+                              const std::string& safety_diag,
+                              bool output_correct, std::string* diagnosis) {
+  // Safety trumps everything: a violated invariant or unsafe output is the
+  // worst possible ending regardless of whether the run settled.
+  if (!safety_diag.empty()) {
+    if (diagnosis) *diagnosis = "safety: " + safety_diag;
+    return FaultOutcome::safety_violated;
+  }
+  // A run that exhausted its event budget never settled: the fault pushed
+  // the system into unbounded activity (e.g. a pulse no node will ever
+  // absorb circulating forever).
+  if (report.hit_event_limit) {
+    if (diagnosis) *diagnosis = "event budget exhausted without settling";
+    return FaultOutcome::diverged;
+  }
+  // The run settled (nothing in flight, nothing more will happen — leftover
+  // payloads the algorithms refuse to read are quarantined, not progress).
+  if (output_correct) {
+    if (diagnosis) {
+      *diagnosis = report.quiescent
+                       ? "settled quiescent with correct output"
+                       : "settled with correct output; unread leftovers "
+                         "quarantined in queues";
+    }
+    return FaultOutcome::recovered_correct;
+  }
+  if (diagnosis) *diagnosis = "settled in a wrong or incomplete state";
+  return FaultOutcome::stalled;
+}
+
+}  // namespace colex::sim

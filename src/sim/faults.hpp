@@ -1,0 +1,424 @@
+// Fault injection for the discrete-event simulator.
+//
+// The paper's fully defective model (§2) erases all message *content* but
+// still assumes channels never lose, duplicate, or invent pulses — and pulse
+// counts are exactly what Algorithms 1-4 compute with. This layer makes that
+// assumption an experimental variable: a declarative, seeded FaultPlan
+// drives an injector that interposes on channel delivery and node lifecycle,
+// so every theorem's boundary ("what happens one fault outside the model?")
+// becomes a reproducible run.
+//
+// Fault classes
+// -------------
+//  * drop       — a payload in flight is deleted (channel loss)
+//  * duplicate  — the head payload of a channel is doubled (link retransmit)
+//  * spurious   — a payload nobody sent is inserted (noise burst that looks
+//                 like a pulse; the one fault the §1.1 replication
+//                 transformation is designed to absorb)
+//  * crash      — a node crash-stops: queued payloads are lost, future
+//                 deliveries to it are swallowed
+//  * recover    — a crashed node reboots into a *fresh* automaton built by
+//                 the injector's node factory: start() runs again, all local
+//                 state is gone
+//  * corrupt    — adversarially overwritten initial state (pre-seeded
+//                 channels and/or node counters), the self-stabilization
+//                 question for the stabilizing Algorithms 1 and 3
+//
+// Faults come in two forms: per-channel probabilities evaluated after every
+// event step with the plan's own seeded RNG, and scripted one-shots pinned
+// to an event index. Either way, a run is exactly reproducible from
+// (FaultPlan, seed, scheduler): the injector draws randomness in a fixed
+// order and never consumes a draw for an inactive fault class, so a plan
+// with no faults configured is guaranteed a no-op (trace-identical to a
+// plain Network run).
+//
+// Every applied fault is recorded as a FaultRecord, published to an optional
+// observer (wired into the trace.hpp event stream by attach_trace), and
+// tallied. BasicFaultyNetwork bundles network + injector + classification:
+// its run() returns a FaultRunReport whose outcome field classifies the run
+// as recovered-correct / stalled / diverged / safety-violated, using
+// caller-supplied predicates (the co/invariants.hpp checkers slot in here —
+// the sim layer itself stays algorithm-agnostic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace colex::sim {
+
+enum class FaultKind { drop, duplicate, spurious, crash, recover, corrupt };
+
+const char* to_string(FaultKind kind);
+
+/// Maps a FaultKind to its trace-stream event kind.
+TraceEvent::Kind trace_kind(FaultKind kind);
+
+/// Per-channel fault probabilities, evaluated once per event step. drop and
+/// duplicate act on the channel head and are only drawn while the channel
+/// has payloads in flight; spurious insertion is drawn unconditionally.
+struct ChannelFaultProfile {
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double spurious_prob = 0.0;
+
+  bool active() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 || spurious_prob > 0.0;
+  }
+};
+
+/// A one-shot fault pinned to a point in the event stream. `at_event` is
+/// the number of completed events (starts + deliveries) after which the
+/// fault fires; 0 fires before the first event. Channel faults that find
+/// their channel empty are silent no-ops (sweep harnesses rely on this),
+/// as are crash/recover requests in the wrong lifecycle state.
+struct ScriptedFault {
+  FaultKind kind = FaultKind::drop;
+  std::uint64_t at_event = 0;
+  std::size_t channel = 0;  ///< drop / duplicate / spurious
+  NodeId node = 0;          ///< crash / recover
+};
+
+/// Declarative description of everything the fault adversary may do.
+/// Deliberately plain data: a plan plus a seed plus a scheduler pins down
+/// the whole faulty execution.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Baseline profile applied to every channel.
+  ChannelFaultProfile all_channels;
+  /// Per-channel overrides (channel id, profile); replace the baseline.
+  std::vector<std::pair<std::size_t, ChannelFaultProfile>> channel_overrides;
+  /// Scripted one-shots, fired in at_event order (ties: script order).
+  std::vector<ScriptedFault> script;
+  /// Corrupted initial channel state: (channel, count) spurious payloads
+  /// pre-seeded before the run starts.
+  std::vector<std::pair<std::size_t, std::size_t>> preseed_channels;
+
+  /// True iff the plan can provably never act: the injector then guarantees
+  /// a run bit-identical to one without it.
+  bool trivial() const {
+    if (all_channels.active() || !script.empty() ||
+        !preseed_channels.empty()) {
+      return false;
+    }
+    for (const auto& [channel, profile] : channel_overrides) {
+      (void)channel;
+      if (profile.active()) return false;
+    }
+    return true;
+  }
+};
+
+/// One applied fault, in application order.
+struct FaultRecord {
+  static constexpr std::size_t kNoChannel = static_cast<std::size_t>(-1);
+
+  FaultKind kind = FaultKind::drop;
+  std::uint64_t at_event = 0;     ///< events completed when it fired
+  std::size_t channel = kNoChannel;  ///< kNoChannel for node/state faults
+  NodeId node = 0;  ///< channel source node, or the faulted node
+  Port port = Port::p0;
+  Direction dir = Direction::cw;
+};
+
+struct FaultTallies {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t spurious = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t corruptions = 0;
+
+  std::uint64_t total() const {
+    return dropped + duplicated + spurious + crashes + recoveries +
+           corruptions;
+  }
+};
+
+/// How a faulty run ended, judged against caller-supplied correctness
+/// predicates (see classify_outcome).
+enum class FaultOutcome {
+  recovered_correct,  ///< settled with the correct election output
+  stalled,            ///< settled, but in a wrong or incomplete state
+  diverged,           ///< never settled (event budget exhausted: livelock)
+  safety_violated,    ///< an invariant broke or the output is unsafe
+};
+
+const char* to_string(FaultOutcome outcome);
+
+/// Classifies a finished run. `safety_diag` is the first invariant
+/// diagnostic observed during or after the run (empty = safety held);
+/// `output_correct` says whether the final stable output is the intended
+/// one. If `diagnosis` is non-null a one-line human-readable explanation is
+/// stored there.
+FaultOutcome classify_outcome(const RunReport& report,
+                              const std::string& safety_diag,
+                              bool output_correct,
+                              std::string* diagnosis = nullptr);
+
+/// Interposes a FaultPlan on a network run, TraceRecorder-style:
+///
+///   FaultInjector<P> injector(plan, factory);
+///   injector.attach(net, opts);       // chains any hooks already set
+///   net.run(scheduler, opts);
+///   injector.tallies();               // what was actually applied
+template <typename P>
+class FaultInjector {
+ public:
+  /// Builds the fresh automaton a node reboots into on recovery. Required
+  /// only when the plan scripts FaultKind::recover.
+  using NodeFactory = std::function<std::unique_ptr<Automaton<P>>(NodeId)>;
+  /// Arbitrary state corruption applied once before the run (e.g. loading
+  /// adversarial counters into an automaton); counted as one corruption.
+  using StateCorruptor = std::function<void(Network<P>&)>;
+
+  explicit FaultInjector(FaultPlan plan, NodeFactory recover_factory = {},
+                         StateCorruptor corrupt_state = {})
+      : plan_(std::move(plan)),
+        recover_factory_(std::move(recover_factory)),
+        corrupt_state_(std::move(corrupt_state)),
+        rng_(plan_.seed) {
+    for (const auto& fault : plan_.script) {
+      if (fault.kind == FaultKind::recover) {
+        COLEX_EXPECTS(recover_factory_ != nullptr);
+      }
+    }
+  }
+
+  /// Observer for applied faults; attach_trace wires this into a recorder.
+  void set_fault_observer(std::function<void(const FaultRecord&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Records every applied fault as a first-class event in `trace`
+  /// (chaining a previously set observer).
+  void attach_trace(BasicTraceRecorder<P>& trace) {
+    auto previous = observer_;
+    observer_ = [&trace, previous](const FaultRecord& record) {
+      trace.record_fault(trace_kind(record.kind), record.node, record.port,
+                         record.dir);
+      if (previous) previous(record);
+    };
+  }
+
+  /// Wires the injector into `net` and `opts` and applies the plan's
+  /// initial-state corruption (preseeded channels, state corruptor). Call
+  /// once, right before net.run().
+  void attach(Network<P>& net, BasicRunOptions<P>& opts) {
+    COLEX_EXPECTS(!attached_);
+    attached_ = true;
+    // Resolve per-channel profiles once.
+    profiles_.assign(net.channel_count(), plan_.all_channels);
+    any_probabilistic_ = plan_.all_channels.active();
+    for (const auto& [channel, profile] : plan_.channel_overrides) {
+      COLEX_EXPECTS(channel < net.channel_count());
+      profiles_[channel] = profile;
+      any_probabilistic_ = any_probabilistic_ || profile.active();
+    }
+
+    if (corrupt_state_) {
+      corrupt_state_(net);
+      ++tallies_.corruptions;
+      publish(FaultRecord{FaultKind::corrupt, 0, FaultRecord::kNoChannel, 0,
+                          Port::p0, Direction::cw});
+    }
+    for (const auto& [channel, count] : plan_.preseed_channels) {
+      for (std::size_t i = 0; i < count; ++i) {
+        apply_channel_fault(net, FaultKind::spurious, channel);
+      }
+    }
+    fire_scripted(net);  // at_event == 0 entries
+
+    auto previous = opts.on_event;
+    opts.on_event = [this, previous](Network<P>& n) {
+      // User hooks (per-event invariant checks, tracing) observe the state
+      // the algorithms produced, *then* the adversary tampers with it.
+      if (previous) previous(n);
+      ++events_;
+      fire_scripted(n);
+      if (any_probabilistic_) apply_probabilistic(n);
+    };
+  }
+
+  const FaultTallies& tallies() const { return tallies_; }
+  const std::vector<FaultRecord>& records() const { return records_; }
+  std::uint64_t events_observed() const { return events_; }
+
+ private:
+  void publish(FaultRecord record) {
+    records_.push_back(record);
+    if (observer_) observer_(records_.back());
+  }
+
+  /// Applies one channel fault if possible; returns whether it acted.
+  bool apply_channel_fault(Network<P>& net, FaultKind kind,
+                           std::size_t channel) {
+    COLEX_EXPECTS(channel < net.channel_count());
+    switch (kind) {
+      case FaultKind::drop:
+        if (net.channel_pending(channel) == 0) return false;
+        net.drop_fault(channel);
+        ++tallies_.dropped;
+        break;
+      case FaultKind::duplicate:
+        if (net.channel_pending(channel) == 0) return false;
+        net.duplicate_fault(channel);
+        ++tallies_.duplicated;
+        break;
+      case FaultKind::spurious:
+        net.inject_fault(channel);
+        ++tallies_.spurious;
+        break;
+      default:
+        COLEX_ASSERT(false);
+    }
+    const auto [node, port] = net.channel_source(channel);
+    publish(FaultRecord{kind, events_, channel, node, port,
+                        net.channel_direction(channel)});
+    return true;
+  }
+
+  bool apply_node_fault(Network<P>& net, FaultKind kind, NodeId node) {
+    COLEX_EXPECTS(node < net.size());
+    if (kind == FaultKind::crash) {
+      if (net.node_crashed(node) || !net.started(node)) return false;
+      net.crash_node(node);
+      ++tallies_.crashes;
+    } else {
+      COLEX_ASSERT(kind == FaultKind::recover);
+      if (!net.node_crashed(node)) return false;
+      net.recover_node(node, recover_factory_(node));
+      ++tallies_.recoveries;
+    }
+    publish(FaultRecord{kind, events_, FaultRecord::kNoChannel, node,
+                        Port::p0, Direction::cw});
+    return true;
+  }
+
+  void fire_scripted(Network<P>& net) {
+    // The script is scanned in order; entries for earlier events have
+    // already fired (script_cursor_ advances monotonically), so the plan
+    // must list faults in at_event order.
+    while (script_cursor_ < plan_.script.size() &&
+           plan_.script[script_cursor_].at_event <= events_) {
+      const ScriptedFault& fault = plan_.script[script_cursor_];
+      COLEX_EXPECTS(fault.at_event == events_);  // sorted plan
+      ++script_cursor_;
+      if (fault.kind == FaultKind::crash || fault.kind == FaultKind::recover) {
+        apply_node_fault(net, fault.kind, fault.node);
+      } else {
+        COLEX_EXPECTS(fault.kind != FaultKind::corrupt);
+        apply_channel_fault(net, fault.kind, fault.channel);
+      }
+    }
+  }
+
+  void apply_probabilistic(Network<P>& net) {
+    // Fixed draw order (channel id, then drop/duplicate/spurious) so a run
+    // is reproducible from (plan, seed, scheduler). Draws are skipped — not
+    // burned — for inactive classes, keeping sparse plans cheap.
+    for (std::size_t c = 0; c < profiles_.size(); ++c) {
+      const ChannelFaultProfile& profile = profiles_[c];
+      if (!profile.active()) continue;
+      if (profile.drop_prob > 0.0 && net.channel_pending(c) > 0 &&
+          rng_.bernoulli(profile.drop_prob)) {
+        apply_channel_fault(net, FaultKind::drop, c);
+      }
+      if (profile.duplicate_prob > 0.0 && net.channel_pending(c) > 0 &&
+          rng_.bernoulli(profile.duplicate_prob)) {
+        apply_channel_fault(net, FaultKind::duplicate, c);
+      }
+      if (profile.spurious_prob > 0.0 &&
+          rng_.bernoulli(profile.spurious_prob)) {
+        apply_channel_fault(net, FaultKind::spurious, c);
+      }
+    }
+  }
+
+  FaultPlan plan_;
+  NodeFactory recover_factory_;
+  StateCorruptor corrupt_state_;
+  util::Xoshiro256StarStar rng_;
+  std::vector<ChannelFaultProfile> profiles_;
+  bool any_probabilistic_ = false;
+  bool attached_ = false;
+  std::uint64_t events_ = 0;
+  std::size_t script_cursor_ = 0;
+  FaultTallies tallies_;
+  std::vector<FaultRecord> records_;
+  std::function<void(const FaultRecord&)> observer_;
+};
+
+/// A network bundled with a fault injector and outcome classification: the
+/// one-stop entry point for fault experiments. Single-shot: build, run
+/// once, inspect. With a trivial() plan, run() is trace-identical to
+/// running the wrapped network directly.
+template <typename P>
+class BasicFaultyNetwork {
+ public:
+  using SafetyCheck = std::function<std::string(const Network<P>&)>;
+  using OutputCheck = std::function<bool(const Network<P>&)>;
+
+  BasicFaultyNetwork(Network<P> net, FaultPlan plan,
+                     typename FaultInjector<P>::NodeFactory factory = {},
+                     typename FaultInjector<P>::StateCorruptor corrupt = {})
+      : net_(std::move(net)),
+        injector_(std::move(plan), std::move(factory), std::move(corrupt)) {}
+
+  Network<P>& network() { return net_; }
+  const Network<P>& network() const { return net_; }
+  FaultInjector<P>& injector() { return injector_; }
+
+  struct FaultRunReport {
+    RunReport report;
+    FaultTallies tallies;
+    FaultOutcome outcome = FaultOutcome::recovered_correct;
+    std::string diagnosis;
+  };
+
+  /// Runs to quiescence under the plan. `safety` is evaluated after every
+  /// event on the pre-tampering state and once on the final state (first
+  /// non-empty diagnostic wins); `output_correct` judges the final state.
+  /// Without predicates, safety is vacuously true and correctness means
+  /// quiescence.
+  FaultRunReport run(Scheduler& scheduler, BasicRunOptions<P> opts = {},
+                     const SafetyCheck& safety = {},
+                     const OutputCheck& output_correct = {}) {
+    std::string first_violation;
+    if (safety) {
+      auto previous = opts.on_event;
+      opts.on_event = [&first_violation, &safety, previous](Network<P>& n) {
+        if (previous) previous(n);
+        if (first_violation.empty()) first_violation = safety(n);
+      };
+    }
+    injector_.attach(net_, opts);
+    FaultRunReport out;
+    out.report = net_.run(scheduler, opts);
+    if (safety && first_violation.empty()) first_violation = safety(net_);
+    out.tallies = injector_.tallies();
+    const bool correct =
+        output_correct ? output_correct(net_) : out.report.quiescent;
+    out.outcome = classify_outcome(out.report, first_violation, correct,
+                                   &out.diagnosis);
+    return out;
+  }
+
+ private:
+  Network<P> net_;
+  FaultInjector<P> injector_;
+};
+
+using FaultyNetwork = BasicFaultyNetwork<Pulse>;
+using PulseFaultInjector = FaultInjector<Pulse>;
+
+}  // namespace colex::sim

@@ -28,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "sim/scheduler.hpp"
@@ -59,6 +60,17 @@ class Context {
 
   /// Send one payload through port `p`.
   virtual void send(Port p, P payload) = 0;
+
+  /// Whether reactions are serialized with respect to deliveries. True on
+  /// the discrete-event simulator: no payload can be enqueued while a
+  /// react() is executing, so "my queues right now" is a well-defined
+  /// point of the global execution. Concurrent substrates
+  /// (rt::ThreadRing's automaton host) return false: a delivery can land
+  /// mid-react, so a queue observed non-empty may hold payloads that in
+  /// every serialized ordering of the same execution arrive only *after*
+  /// this react returns. Invariant checks quantifying over the current
+  /// queue contents are only sound when this is true.
+  virtual bool serialized_reactions() const { return true; }
 
   /// Convenience overloads for pulse networks.
   void send(Port p) { send(p, P{}); }
@@ -116,6 +128,14 @@ struct RunReport {
   std::uint64_t sent = 0;        ///< total payloads sent during the run
   std::uint64_t deliveries = 0;  ///< channel->inbox handoffs performed
   std::uint64_t deliveries_to_terminated = 0;  ///< model violations
+  // Fault tallies (all zero on fault-free runs; see sim/faults.hpp). The
+  // counts are ground truth from the network, not from the injector.
+  std::uint64_t faults_injected = 0;    ///< spurious payloads inserted
+  std::uint64_t faults_dropped = 0;     ///< payloads deleted from channels
+  std::uint64_t faults_duplicated = 0;  ///< payloads doubled on channels
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_recoveries = 0;
+  std::uint64_t deliveries_to_crashed = 0;  ///< payloads lost at dead nodes
 };
 
 /// Options for the runner.
@@ -236,6 +256,18 @@ class Network {
     return channels_[c].items.size();
   }
 
+  /// Sending endpoint (node, out-port) of channel `c`.
+  std::pair<NodeId, Port> channel_source(std::size_t c) const {
+    COLEX_EXPECTS(c < channels_.size());
+    return {channels_[c].from_node, channels_[c].from_port};
+  }
+
+  /// Receiving endpoint (node, in-port) of channel `c`.
+  std::pair<NodeId, Port> channel_target(std::size_t c) const {
+    COLEX_EXPECTS(c < channels_.size());
+    return {channels_[c].to_node, channels_[c].to_port};
+  }
+
   bool quiescent() const { return in_transit() == 0; }
 
   // --- model-violation injection (test-only adversary beyond the model) ---
@@ -261,8 +293,65 @@ class Network {
     --total_sent_;
   }
 
+  /// Duplicates the head payload of channel `c` (the copy is queued right
+  /// behind the original, preserving FIFO plausibility: a flaky link
+  /// re-transmits the frame it just carried).
+  void duplicate_fault(std::size_t c) {
+    COLEX_EXPECTS(c < channels_.size() && !channels_[c].items.empty());
+    auto& items = channels_[c].items;
+    items.insert(items.begin() + 1,
+                 Item{P(items.front().payload), next_seq_++,
+                      items.front().stamp});
+    ++total_sent_;
+    ++duplicated_;
+  }
+
+  // --- node lifecycle faults (crash-stop / crash-recover) -----------------
+
+  /// Crash-stops node `v`: its delivered-but-unconsumed queues are lost and
+  /// every future delivery to it is swallowed (tallied in the RunReport)
+  /// until recover_node. Only started nodes can crash; a crash before the
+  /// start event is modeled as a crash at it.
+  void crash_node(NodeId v) {
+    COLEX_EXPECTS(v < nodes_.size() && nodes_[v].started);
+    COLEX_EXPECTS(!nodes_[v].crashed);
+    auto& node = nodes_[v];
+    node.crashed = true;
+    // Queued payloads die with the node; count them consumed so conservation
+    // accounting (in_transit) keeps reflecting what can still move.
+    for (auto& q : node.inbox) {
+      total_consumed_ += q.size();
+      crash_lost_ += q.size();
+      q.clear();
+    }
+    ++crashes_;
+  }
+
+  bool node_crashed(NodeId v) const {
+    COLEX_EXPECTS(v < nodes_.size());
+    return nodes_[v].crashed;
+  }
+
+  /// Recovers node `v` with a fresh automaton: local state is gone (the
+  /// fresh instance starts from scratch) and its start action runs
+  /// immediately, exactly like a reboot into the algorithm's initial state.
+  void recover_node(NodeId v, std::unique_ptr<Automaton<P>> fresh) {
+    COLEX_EXPECTS(v < nodes_.size() && nodes_[v].crashed);
+    COLEX_EXPECTS(fresh != nullptr);
+    auto& node = nodes_[v];
+    node.crashed = false;
+    node.automaton = std::move(fresh);
+    node.consumed[0] = node.consumed[1] = 0;
+    ++recoveries_;
+    NetworkContext<P> ctx(*this, v);
+    ++stamp_;
+    node.automaton->start(ctx);
+    node.automaton->react(ctx);
+  }
+
   std::uint64_t injected() const { return injected_; }
   std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
 
   /// Observer invoked at every send with (sender, out-port, direction).
   /// Used by sim::TraceRecorder; injected faults are deliberately NOT
@@ -363,6 +452,11 @@ class Network {
     }
 
     report.sent = total_sent_;
+    report.faults_injected = injected_;
+    report.faults_dropped = dropped_;
+    report.faults_duplicated = duplicated_;
+    report.node_crashes = crashes_;
+    report.node_recoveries = recoveries_;
     report.quiescent = in_transit() == 0 && !report.hit_event_limit;
     report.stalled = !report.quiescent && in_flight() == 0 &&
                      !report.hit_event_limit && unstarted.empty();
@@ -397,6 +491,7 @@ class Network {
     std::deque<P> inbox[2];
     std::uint64_t consumed[2] = {0, 0};
     bool started = false;
+    bool crashed = false;
   };
 
   void add_channel(NodeId from, Port fp, NodeId to, Port tp, Direction dir) {
@@ -424,6 +519,15 @@ class Network {
 
     const NodeId v = ch.to_node;
     auto& node = nodes_[v];
+    if (node.crashed) {
+      // A dead node swallows the payload: lost exactly like an in-queue
+      // payload at crash time.
+      ++report.deliveries_to_crashed;
+      ++crash_lost_;
+      ++total_consumed_;
+      if (opts.on_event) opts.on_event(*this);
+      return;
+    }
     if (node.automaton->terminated()) {
       // Terminated nodes ignore pulses (paper §2). Consume into the void and
       // record the violation: quiescently terminating algorithms never let
@@ -480,6 +584,10 @@ class Network {
   std::uint64_t total_consumed_ = 0;
   std::uint64_t injected_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t crash_lost_ = 0;
 };
 
 /// The fully defective network of the paper: channels carry only pulses.

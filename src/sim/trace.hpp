@@ -17,20 +17,48 @@
 namespace colex::sim {
 
 struct TraceEvent {
-  enum class Kind { send, deliver };
+  enum class Kind {
+    send,
+    deliver,
+    // Injected faults are first-class events (sim/faults.hpp): a trace of a
+    // faulty run is self-contained, and the audit can tell recorded
+    // tampering apart from silent (unrecorded) tampering.
+    fault_drop,       ///< a payload was deleted from a channel
+    fault_duplicate,  ///< the head payload of a channel was doubled
+    fault_spurious,   ///< a payload nobody sent was inserted
+    fault_crash,      ///< a node crash-stopped
+    fault_recover,    ///< a node rebooted into a fresh automaton
+    fault_corrupt,    ///< node/channel state was adversarially overwritten
+  };
   Kind kind = Kind::send;
-  NodeId node = 0;  ///< sender (send) or receiver (deliver)
+  /// sender (send / channel faults) or receiver (deliver) or the faulted
+  /// node (crash / recover / corrupt).
+  NodeId node = 0;
   Port port = Port::p0;
   Direction dir = Direction::cw;  ///< physical direction of travel
   std::uint64_t index = 0;        ///< position in the event stream
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
+
+constexpr const char* to_string(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::send: return "send";
+    case TraceEvent::Kind::deliver: return "deliver";
+    case TraceEvent::Kind::fault_drop: return "fault-drop";
+    case TraceEvent::Kind::fault_duplicate: return "fault-duplicate";
+    case TraceEvent::Kind::fault_spurious: return "fault-spurious";
+    case TraceEvent::Kind::fault_crash: return "fault-crash";
+    case TraceEvent::Kind::fault_recover: return "fault-recover";
+    case TraceEvent::Kind::fault_corrupt: return "fault-corrupt";
+  }
+  return "?";
+}
 
 inline std::string to_string(const TraceEvent& e) {
   std::ostringstream os;
-  os << "#" << e.index << " "
-     << (e.kind == TraceEvent::Kind::send ? "send" : "deliver") << " node="
-     << e.node << " port=" << sim::index(e.port) << " dir="
-     << to_string(e.dir);
+  os << "#" << e.index << " " << to_string(e.kind) << " node=" << e.node
+     << " port=" << sim::index(e.port) << " dir=" << to_string(e.dir);
   return os.str();
 }
 
@@ -63,41 +91,77 @@ class BasicTraceRecorder {
     });
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-
-  std::uint64_t sends() const {
-    std::uint64_t count = 0;
-    for (const auto& e : events_) {
-      if (e.kind == TraceEvent::Kind::send) ++count;
-    }
-    return count;
+  /// Appends a fault event to the stream. Called by sim::FaultInjector via
+  /// its fault observer; `node`/`port` are the channel's *sending* endpoint
+  /// for channel faults, the faulted node itself for lifecycle faults.
+  void record_fault(TraceEvent::Kind kind, NodeId node, Port port,
+                    Direction dir) {
+    events_.push_back(TraceEvent{kind, node, port, dir,
+                                 static_cast<std::uint64_t>(events_.size())});
   }
 
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  std::uint64_t count(TraceEvent::Kind kind) const {
+    std::uint64_t n = 0;
+    for (const auto& e : events_) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  std::uint64_t sends() const { return count(TraceEvent::Kind::send); }
+
   std::uint64_t deliveries() const {
-    return static_cast<std::uint64_t>(events_.size()) - sends();
+    return count(TraceEvent::Kind::deliver);
   }
 
   /// Audits the stream against the model: at no point may a channel
   /// (identified by sender node+port) have delivered more pulses than were
-  /// sent on it. Returns an empty string when clean, else a diagnostic.
-  /// `wiring(recv_node, recv_port)` must map a delivery endpoint back to
-  /// the sending endpoint; for the standard ring use `ring_wiring(net)`.
+  /// sent on it. Recorded fault events are accounted for (a spurious or
+  /// duplicated payload raises the channel balance, a drop lowers it), so a
+  /// faithfully recorded faulty run audits clean while *silent* tampering
+  /// still trips the check. Returns an empty string when clean, else a
+  /// diagnostic. `wiring(recv_node, recv_port)` must map a delivery
+  /// endpoint back to the sending endpoint; for the standard ring use
+  /// `ring_wiring(net)`.
   template <typename Wiring>
   std::string audit(Wiring&& wiring) const {
     std::map<std::pair<NodeId, int>, std::int64_t> balance;
     for (const auto& e : events_) {
-      if (e.kind == TraceEvent::Kind::send) {
-        ++balance[{e.node, sim::index(e.port)}];
-      } else {
-        const auto from = wiring(e.node, e.port);
-        auto& b = balance[{from.first, sim::index(from.second)}];
-        if (b <= 0) {
-          return "channel from node " + std::to_string(from.first) +
-                 " port " + std::to_string(sim::index(from.second)) +
-                 " delivered more than it sent (event " +
-                 std::to_string(e.index) + ")";
+      switch (e.kind) {
+        case TraceEvent::Kind::send:
+        case TraceEvent::Kind::fault_spurious:
+        case TraceEvent::Kind::fault_duplicate:
+          ++balance[{e.node, sim::index(e.port)}];
+          break;
+        case TraceEvent::Kind::fault_drop: {
+          auto& b = balance[{e.node, sim::index(e.port)}];
+          if (b <= 0) {
+            return "fault-drop on empty channel from node " +
+                   std::to_string(e.node) + " port " +
+                   std::to_string(sim::index(e.port)) + " (event " +
+                   std::to_string(e.index) + ")";
+          }
+          --b;
+          break;
         }
-        --b;
+        case TraceEvent::Kind::deliver: {
+          const auto from = wiring(e.node, e.port);
+          auto& b = balance[{from.first, sim::index(from.second)}];
+          if (b <= 0) {
+            return "channel from node " + std::to_string(from.first) +
+                   " port " + std::to_string(sim::index(from.second)) +
+                   " delivered more than it sent (event " +
+                   std::to_string(e.index) + ")";
+          }
+          --b;
+          break;
+        }
+        case TraceEvent::Kind::fault_crash:
+        case TraceEvent::Kind::fault_recover:
+        case TraceEvent::Kind::fault_corrupt:
+          break;  // lifecycle/state faults do not move payloads on channels
       }
     }
     return {};

@@ -1,0 +1,680 @@
+// Fault-injection suite: probes the boundary of the paper's model (§2).
+//
+// The fully defective model erases message content but assumes channels
+// never lose, duplicate, or invent pulses — and pulse *counts* are exactly
+// what Algorithms 1-4 compute with. These tests make that boundary
+// executable. The headline facts, each verified exhaustively for n <= 3
+// (every injection point x every channel x every fault kind x several
+// adversarial schedulers):
+//
+//  * Algorithm 1 ignores the CCW direction entirely, so any spurious pulse
+//    there is quarantined: the election still settles correctly.
+//  * On the load-bearing CW direction Algorithm 1 is fragile to *every*
+//    fault class: a dropped pulse leaves the ring settled in a wrong state
+//    (the pulse/absorption balance is off by -1), and a duplicated or
+//    spurious pulse can never be absorbed (+1 balance), so it circulates
+//    forever and even revokes an already-correct election. "Quiescently
+//    stabilizing" (paper §3.1) is not self-stabilization.
+//  * The paper's own §1.1 replication transformation is a genuine
+//    fault-tolerance mechanism: with r = 1, replicated Algorithm 1 survives
+//    ANY single pulse insertion (duplicate or spurious) on any channel —
+//    but not loss, which §1.1 never promised to mask.
+//  * Terminating Algorithm 2 is fragile to a single lost pulse: every
+//    applied drop ends in a stall (nodes deadlocked on counts that can no
+//    longer arrive) — exhaustively at n <= 3 it never mis-elects, because
+//    the drop starves exactly the max node, whose silence also blocks the
+//    CCW feed a false termination trigger would need. Corrupted counters,
+//    by contrast, DO produce an irrevocable safety violation: termination
+//    commits a wrong leader.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "co/alg1.hpp"
+#include "co/alg2.hpp"
+#include "co/invariants.hpp"
+#include "co/replicated.hpp"
+#include "helpers.hpp"
+#include "sim/faults.hpp"
+#include "sim/trace.hpp"
+
+namespace colex {
+namespace {
+
+using sim::FaultKind;
+using sim::FaultOutcome;
+using sim::FaultPlan;
+using sim::FaultyNetwork;
+
+std::vector<std::uint64_t> small_ids(std::size_t n) {
+  // Unique IDs with the maximum NOT at node 0, so wrong-leader outcomes are
+  // distinguishable from "node 0 wins by accident".
+  switch (n) {
+    case 1: return {2};
+    case 2: return {2, 3};
+    case 3: return {2, 3, 1};
+    default: return test::shuffled(test::dense_ids(n), 7);
+  }
+}
+
+sim::NodeId max_node(const std::vector<std::uint64_t>& ids) {
+  return static_cast<sim::NodeId>(
+      std::max_element(ids.begin(), ids.end()) - ids.begin());
+}
+
+sim::PulseNetwork alg1_net(const std::vector<std::uint64_t>& ids) {
+  auto net = sim::PulseNetwork::ring(ids.size());
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    net.set_automaton(v, std::make_unique<co::Alg1Stabilizing>(ids[v]));
+  }
+  return net;
+}
+
+sim::PulseNetwork alg2_net(const std::vector<std::uint64_t>& ids) {
+  auto net = sim::PulseNetwork::ring(ids.size());
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    net.set_automaton(v, std::make_unique<co::Alg2Terminating>(ids[v]));
+  }
+  return net;
+}
+
+sim::PulseNetwork replicated_alg1_net(const std::vector<std::uint64_t>& ids,
+                                      unsigned r) {
+  auto net = sim::PulseNetwork::ring(ids.size());
+  for (sim::NodeId v = 0; v < ids.size(); ++v) {
+    net.set_automaton(v, std::make_unique<co::ReplicatedAdapter>(
+                             std::make_unique<co::Alg1Stabilizing>(ids[v]),
+                             r));
+  }
+  return net;
+}
+
+/// Correct Algorithm 1 output: the unique max-ID node is Leader, every
+/// other node Non-Leader.
+FaultyNetwork::OutputCheck alg1_correct(
+    const std::vector<std::uint64_t>& ids) {
+  return [ids](const sim::PulseNetwork& net) {
+    const sim::NodeId expected = max_node(ids);
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      const auto& alg = net.automaton_as<co::Alg1Stabilizing>(v);
+      const co::Role want =
+          v == expected ? co::Role::leader : co::Role::non_leader;
+      if (alg.role() != want) return false;
+    }
+    return true;
+  };
+}
+
+FaultyNetwork::OutputCheck replicated_alg1_correct(
+    const std::vector<std::uint64_t>& ids) {
+  return [ids](const sim::PulseNetwork& net) {
+    const sim::NodeId expected = max_node(ids);
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      const auto& alg = net.automaton_as<co::ReplicatedAdapter>(v)
+                            .inner_as<co::Alg1Stabilizing>();
+      const co::Role want =
+          v == expected ? co::Role::leader : co::Role::non_leader;
+      if (alg.role() != want) return false;
+    }
+    return true;
+  };
+}
+
+/// Correct Algorithm 2 output: quiescent, all terminated, unique max-ID
+/// leader.
+FaultyNetwork::OutputCheck alg2_correct(
+    const std::vector<std::uint64_t>& ids) {
+  return [ids](const sim::PulseNetwork& net) {
+    if (!net.quiescent()) return false;
+    const sim::NodeId expected = max_node(ids);
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      const auto& alg = net.automaton_as<co::Alg2Terminating>(v);
+      if (!alg.terminated()) return false;
+      const co::Role want =
+          v == expected ? co::Role::leader : co::Role::non_leader;
+      if (alg.role() != want) return false;
+    }
+    return true;
+  };
+}
+
+/// Algorithm 2 safety: termination is irrevocable, so a terminated node
+/// with the wrong role — or a termination wave initiated anywhere but the
+/// true maximum — is a committed mis-election, not a transient.
+FaultyNetwork::SafetyCheck alg2_safety(
+    const std::vector<std::uint64_t>& ids) {
+  return [ids](const sim::PulseNetwork& net) -> std::string {
+    const sim::NodeId expected = max_node(ids);
+    std::size_t terminated_leaders = 0;
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      const auto& alg = net.automaton_as<co::Alg2Terminating>(v);
+      if (alg.initiated_termination() && v != expected) {
+        return "node " + std::to_string(v) +
+               " (not the max) initiated termination";
+      }
+      if (!alg.terminated()) continue;
+      if (alg.role() == co::Role::leader) {
+        ++terminated_leaders;
+        if (v != expected) {
+          return "node " + std::to_string(v) +
+                 " terminated as leader but the max is node " +
+                 std::to_string(expected);
+        }
+      }
+      if (alg.role() == co::Role::undecided) {
+        return "node " + std::to_string(v) + " terminated undecided";
+      }
+    }
+    if (terminated_leaders > 1) return "two terminated leaders";
+    return {};
+  };
+}
+
+using SchedulerFactory = std::function<std::unique_ptr<sim::Scheduler>()>;
+
+std::vector<SchedulerFactory> sweep_schedulers() {
+  return {
+      [] { return std::make_unique<sim::GlobalFifoScheduler>(); },
+      [] { return std::make_unique<sim::RoundRobinScheduler>(); },
+      [] { return std::make_unique<sim::RandomScheduler>(5); },
+  };
+}
+
+struct SingleFaultResult {
+  bool applied = false;
+  FaultOutcome outcome = FaultOutcome::recovered_correct;
+  std::string diagnosis;
+  sim::RunReport report;
+};
+
+/// Runs `build()` under one scripted single fault and classifies the run.
+SingleFaultResult run_single_fault(
+    const std::function<sim::PulseNetwork()>& build,
+    const SchedulerFactory& make_scheduler, FaultKind kind, std::uint64_t at,
+    std::size_t channel, const FaultyNetwork::SafetyCheck& safety,
+    const FaultyNetwork::OutputCheck& correct,
+    std::uint64_t max_events = 5'000) {
+  FaultPlan plan;
+  plan.script.push_back(sim::ScriptedFault{kind, at, channel, 0});
+  FaultyNetwork faulty(build(), std::move(plan));
+  sim::RunOptions opts;
+  opts.max_events = max_events;
+  auto scheduler = make_scheduler();
+  const auto run = faulty.run(*scheduler, opts, safety, correct);
+  SingleFaultResult result;
+  result.applied = faulty.injector().tallies().total() > 0;
+  result.outcome = run.outcome;
+  result.diagnosis = run.diagnosis;
+  result.report = run.report;
+  return result;
+}
+
+/// Number of events (starts + deliveries) in the fault-free run, the sweep
+/// horizon for scripted faults.
+std::uint64_t fault_free_events(
+    const std::function<sim::PulseNetwork()>& build,
+    const SchedulerFactory& make_scheduler) {
+  FaultyNetwork faulty(build(), FaultPlan{});
+  auto scheduler = make_scheduler();
+  const auto run = faulty.run(*scheduler);
+  EXPECT_TRUE(run.report.quiescent);
+  return faulty.injector().events_observed();
+}
+
+// ---------------------------------------------------------------------------
+// Injector is a strict superset of the plain network: no behavioral drift.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, ZeroFaultPlanIsTraceIdentical) {
+  const auto ids = test::sparse_ids(5, 20, 3);
+  for (const auto& make_scheduler : sweep_schedulers()) {
+    // Plain run.
+    auto plain = alg1_net(ids);
+    sim::RunOptions plain_opts;
+    sim::TraceRecorder plain_trace;
+    plain_trace.attach(plain, plain_opts);
+    auto plain_sched = make_scheduler();
+    const auto plain_report = plain.run(*plain_sched, plain_opts);
+
+    // Same run through a FaultyNetwork with a trivial plan.
+    FaultPlan plan;
+    ASSERT_TRUE(plan.trivial());
+    FaultyNetwork faulty(alg1_net(ids), plan);
+    sim::RunOptions faulty_opts;
+    sim::TraceRecorder faulty_trace;
+    faulty_trace.attach(faulty.network(), faulty_opts);
+    faulty.injector().attach_trace(faulty_trace);
+    auto faulty_sched = make_scheduler();
+    const auto faulty_run = faulty.run(*faulty_sched, faulty_opts);
+
+    EXPECT_EQ(plain_trace.events(), faulty_trace.events());
+    EXPECT_EQ(plain_report.sent, faulty_run.report.sent);
+    EXPECT_EQ(plain_report.deliveries, faulty_run.report.deliveries);
+    EXPECT_EQ(faulty.injector().tallies().total(), 0u);
+    EXPECT_EQ(faulty_run.outcome, FaultOutcome::recovered_correct);
+  }
+}
+
+TEST(FaultInjector, FaultFreeRunKeepsInvariantsThroughInjector) {
+  const auto ids = test::sparse_ids(4, 15, 11);
+  const std::uint64_t id_max = *std::max_element(ids.begin(), ids.end());
+  FaultyNetwork faulty(alg1_net(ids), FaultPlan{});
+  sim::GlobalFifoScheduler scheduler;
+  const auto run = faulty.run(
+      scheduler, {},
+      [&ids, id_max](const sim::PulseNetwork& net) -> std::string {
+        for (sim::NodeId v = 0; v < ids.size(); ++v) {
+          // Lemma 6 speaks about nodes that have performed their start
+          // action; during the staggered start phase the others are exempt.
+          if (!net.started(v)) continue;
+          if (auto err = co::check_alg1_invariants(
+                  net.automaton_as<co::Alg1Stabilizing>(v), id_max);
+              !err.empty()) {
+            return err;
+          }
+        }
+        return {};
+      },
+      alg1_correct(ids));
+  EXPECT_EQ(run.outcome, FaultOutcome::recovered_correct);
+  EXPECT_TRUE(run.report.quiescent);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive single-fault classification, Algorithm 1, n <= 3.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSweepAlg1, ExhaustiveSingleChannelFaultClassification) {
+  const std::vector<FaultKind> kinds{FaultKind::drop, FaultKind::duplicate,
+                                     FaultKind::spurious};
+  for (std::size_t n = 1; n <= 3; ++n) {
+    const auto ids = small_ids(n);
+    const auto build = [&ids] { return alg1_net(ids); };
+    const auto correct = alg1_correct(ids);
+    for (const auto& make_scheduler : sweep_schedulers()) {
+      const std::uint64_t horizon = fault_free_events(build, make_scheduler);
+      auto probe = alg1_net(ids);  // channel metadata only
+      for (std::uint64_t at = 0; at <= horizon; ++at) {
+        for (std::size_t c = 0; c < probe.channel_count(); ++c) {
+          const sim::Direction dir = probe.channel_direction(c);
+          for (const FaultKind kind : kinds) {
+            const auto result = run_single_fault(build, make_scheduler, kind,
+                                                 at, c, {}, correct);
+            if (!result.applied) {
+              // The fault found no payload to act on (e.g. a drop on an
+              // empty channel): the run is the fault-free one.
+              EXPECT_EQ(result.outcome, FaultOutcome::recovered_correct);
+              continue;
+            }
+            if (dir == sim::Direction::ccw) {
+              // Algorithm 1 never reads the CCW direction: an inserted
+              // pulse is delivered, never consumed, and quarantined.
+              ASSERT_EQ(kind, FaultKind::spurious)
+                  << "CCW channels carry no pulses to drop or duplicate";
+              EXPECT_EQ(result.outcome, FaultOutcome::recovered_correct)
+                  << "n=" << n << " at=" << at << " c=" << c;
+              EXPECT_FALSE(result.report.quiescent);  // quarantined leftover
+            } else if (kind == FaultKind::drop) {
+              // One pulse too few: the ring settles, but the counting
+              // argument (Corollary 13) is broken for good.
+              EXPECT_EQ(result.outcome, FaultOutcome::stalled)
+                  << "n=" << n << " at=" << at << " c=" << c;
+            } else {
+              // One pulse too many: no node will ever absorb it, so it
+              // circulates forever and keeps revoking leaders.
+              EXPECT_EQ(result.outcome, FaultOutcome::diverged)
+                  << "n=" << n << " at=" << at << " c=" << c
+                  << " kind=" << to_string(kind);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The §1.1 replication transformation as a fault-tolerance mechanism.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSweepReplicated, R1SurvivesAnySingleInsertionExhaustively) {
+  const std::vector<FaultKind> insertions{FaultKind::duplicate,
+                                          FaultKind::spurious};
+  for (std::size_t n = 1; n <= 3; ++n) {
+    const auto ids = small_ids(n);
+    const auto build = [&ids] { return replicated_alg1_net(ids, 1); };
+    const auto correct = replicated_alg1_correct(ids);
+    bool drop_broke_something = false;
+    for (const auto& make_scheduler : sweep_schedulers()) {
+      const std::uint64_t horizon = fault_free_events(build, make_scheduler);
+      auto probe = replicated_alg1_net(ids, 1);
+      for (std::uint64_t at = 0; at <= horizon; ++at) {
+        for (std::size_t c = 0; c < probe.channel_count(); ++c) {
+          for (const FaultKind kind : insertions) {
+            const auto result = run_single_fault(build, make_scheduler, kind,
+                                                 at, c, {}, correct);
+            if (!result.applied) continue;
+            // r = 1 masks any single stray pulse, anywhere, at any time
+            // (§1.1: groups of r+1 arrivals re-synchronize the stream).
+            EXPECT_EQ(result.outcome, FaultOutcome::recovered_correct)
+                << "n=" << n << " at=" << at << " c=" << c
+                << " kind=" << to_string(kind)
+                << " diag=" << result.diagnosis;
+          }
+          // Contrast: §1.1 tolerates stray *insertions*, not loss.
+          const auto dropped = run_single_fault(
+              build, make_scheduler, FaultKind::drop, at, c, {}, correct);
+          if (dropped.applied &&
+              dropped.outcome != FaultOutcome::recovered_correct) {
+            drop_broke_something = true;
+          }
+        }
+      }
+    }
+    EXPECT_TRUE(drop_broke_something)
+        << "replication unexpectedly masked every drop at n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Documented fragility: one lost pulse breaks terminating Algorithm 2.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSweepAlg2, SingleDropStallsOrMiselectsExhaustively) {
+  std::map<FaultOutcome, std::size_t> outcomes;
+  for (std::size_t n = 1; n <= 3; ++n) {
+    const auto ids = small_ids(n);
+    const auto build = [&ids] { return alg2_net(ids); };
+    const auto correct = alg2_correct(ids);
+    const auto safety = alg2_safety(ids);
+    for (const auto& make_scheduler : sweep_schedulers()) {
+      const std::uint64_t horizon = fault_free_events(build, make_scheduler);
+      auto probe = alg2_net(ids);
+      for (std::uint64_t at = 0; at <= horizon; ++at) {
+        for (std::size_t c = 0; c < probe.channel_count(); ++c) {
+          const auto result = run_single_fault(
+              build, make_scheduler, FaultKind::drop, at, c, safety, correct);
+          if (!result.applied) continue;
+          // Theorem 1's exact-count argument has no slack: a single lost
+          // pulse is never recovered from.
+          EXPECT_NE(result.outcome, FaultOutcome::recovered_correct)
+              << "n=" << n << " at=" << at << " c=" << c;
+          ++outcomes[result.outcome];
+        }
+      }
+    }
+  }
+  // The sweep is exhaustive, so these are small theorems, not samples. A
+  // single drop always wedges the exact-count machinery into a stall. It
+  // never mis-elects at n <= 3: a false rho_cw = ID = rho_ccw trigger at a
+  // non-max node v needs v's CW count frozen at ID_v while CCW pulses still
+  // reach v — but the drop starves exactly the max node, which then never
+  // starts its CCW instance, and at n <= 3 every candidate v sits directly
+  // CCW-downstream of the max, so its CCW feed is blocked too. And it never
+  // diverges: a drop only removes pulses, and livelock needs a surplus.
+  EXPECT_GT(outcomes[FaultOutcome::stalled], 0u);
+  EXPECT_EQ(outcomes[FaultOutcome::safety_violated], 0u);
+  EXPECT_EQ(outcomes[FaultOutcome::diverged], 0u);
+}
+
+TEST(FaultSweepAlg2, CorruptedCountersCommitToFalseLeader) {
+  // The mis-election that channel loss cannot produce (previous test),
+  // corrupted memory can: pre-loading a NON-max node with
+  // rho_cw = rho_ccw = ID arms the line-14 trigger, so the node initiates
+  // the termination wave at its own start event. Termination is
+  // irrevocable — unlike stabilizing Algorithm 1, where any wrong state is
+  // merely transient roles, Algorithm 2 commits the wrong leader.
+  const std::vector<std::uint64_t> ids{2, 5, 3};
+  FaultyNetwork faulty(
+      alg2_net(ids), FaultPlan{}, {},
+      [&ids](sim::PulseNetwork& net) {
+        co::PulseCounters corrupted;
+        corrupted.rho_cw = ids[0];
+        corrupted.rho_ccw = ids[0];
+        net.automaton_as<co::Alg2Terminating>(0).load_corrupted_state(
+            corrupted, co::Role::leader);
+      });
+  sim::GlobalFifoScheduler scheduler;
+  sim::RunOptions opts;
+  opts.max_events = 5'000;
+  const auto run =
+      faulty.run(scheduler, opts, alg2_safety(ids), alg2_correct(ids));
+  EXPECT_EQ(run.tallies.corruptions, 1u);
+  EXPECT_EQ(run.outcome, FaultOutcome::safety_violated);
+  EXPECT_TRUE(
+      faulty.network().automaton_as<co::Alg2Terminating>(0)
+          .initiated_termination());
+}
+
+// ---------------------------------------------------------------------------
+// Crash-stop and crash-recover.
+// ---------------------------------------------------------------------------
+
+TEST(FaultCrash, CrashStopSwallowsDeliveriesAndBreaksElection) {
+  const std::vector<std::uint64_t> ids{2, 5, 3};
+  FaultPlan plan;
+  plan.script.push_back(
+      sim::ScriptedFault{FaultKind::crash, 4, 0, /*node=*/1});
+  FaultyNetwork faulty(alg1_net(ids), plan);
+  sim::GlobalFifoScheduler scheduler;
+  sim::RunOptions opts;
+  opts.max_events = 5'000;
+  const auto run = faulty.run(scheduler, opts, {}, alg1_correct(ids));
+  EXPECT_EQ(run.tallies.crashes, 1u);
+  EXPECT_EQ(run.report.node_crashes, 1u);
+  EXPECT_GT(run.report.deliveries_to_crashed, 0u);
+  // The crashed node is the max-ID node: nobody can win anymore.
+  EXPECT_NE(run.outcome, FaultOutcome::recovered_correct);
+}
+
+TEST(FaultCrash, CrashRecoverRestartsFromCleanState) {
+  const std::vector<std::uint64_t> ids{2, 5, 3, 4};
+  FaultPlan plan;
+  plan.script.push_back(
+      sim::ScriptedFault{FaultKind::crash, 5, 0, /*node=*/2});
+  plan.script.push_back(
+      sim::ScriptedFault{FaultKind::recover, 9, 0, /*node=*/2});
+  auto factory = [&ids](sim::NodeId v) {
+    return std::make_unique<co::Alg1Stabilizing>(ids[v]);
+  };
+  FaultyNetwork faulty(alg1_net(ids), plan, factory);
+  sim::GlobalFifoScheduler scheduler;
+  sim::RunOptions opts;
+  opts.max_events = 5'000;
+  const auto run = faulty.run(scheduler, opts, {}, alg1_correct(ids));
+  EXPECT_EQ(run.tallies.crashes, 1u);
+  EXPECT_EQ(run.tallies.recoveries, 1u);
+  EXPECT_EQ(run.report.node_recoveries, 1u);
+  // The recovered node restarted from start(): its counters are fresh (it
+  // cannot have received more than it has seen since recovery).
+  const auto& recovered = faulty.network().automaton_as<co::Alg1Stabilizing>(2);
+  EXPECT_LT(recovered.counters().rho_cw, 5u);
+}
+
+TEST(FaultCrash, CrashRecoverRunsAreExactlyReproducible) {
+  const std::vector<std::uint64_t> ids{2, 5, 3, 4};
+  auto one_run = [&ids](std::vector<sim::TraceEvent>* trace_out) {
+    FaultPlan plan;
+    plan.all_channels.drop_prob = 0.02;
+    plan.all_channels.spurious_prob = 0.01;
+    plan.seed = 99;
+    plan.script.push_back(
+        sim::ScriptedFault{FaultKind::crash, 6, 0, /*node=*/1});
+    plan.script.push_back(
+        sim::ScriptedFault{FaultKind::recover, 12, 0, /*node=*/1});
+    auto factory = [&ids](sim::NodeId v) {
+      return std::make_unique<co::Alg1Stabilizing>(ids[v]);
+    };
+    FaultyNetwork faulty(alg1_net(ids), plan, factory);
+    sim::RunOptions opts;
+    opts.max_events = 2'000;
+    sim::TraceRecorder trace;
+    trace.attach(faulty.network(), opts);
+    faulty.injector().attach_trace(trace);
+    sim::RandomScheduler scheduler(17);
+    const auto run = faulty.run(scheduler, opts);
+    *trace_out = trace.events();
+    return run;
+  };
+  std::vector<sim::TraceEvent> first_trace, second_trace;
+  const auto first = one_run(&first_trace);
+  const auto second = one_run(&second_trace);
+  EXPECT_EQ(first_trace, second_trace);
+  EXPECT_EQ(first.tallies.total(), second.tallies.total());
+  EXPECT_EQ(first.outcome, second.outcome);
+  EXPECT_EQ(first.report.sent, second.report.sent);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted initial state: the self-stabilization question.
+// ---------------------------------------------------------------------------
+
+TEST(FaultCorruptState, CorruptedCounterElectsTwoLeaders) {
+  // ids {1, 2}; pre-load node 1 (the max) with rho_cw = 1 as if it had
+  // already received a pulse. Both nodes then absorb their first real pulse
+  // and both end Leader: Algorithm 1 does NOT self-stabilize from corrupted
+  // counters, because the corrupted count silently shifts the absorption
+  // point.
+  const std::vector<std::uint64_t> ids{1, 2};
+  FaultyNetwork faulty(
+      alg1_net(ids), FaultPlan{}, {},
+      [](sim::PulseNetwork& net) {
+        co::PulseCounters corrupted;
+        corrupted.rho_cw = 1;
+        net.automaton_as<co::Alg1Stabilizing>(1).load_corrupted_state(
+            corrupted, co::Role::undecided);
+      });
+  sim::GlobalFifoScheduler scheduler;
+  sim::RunOptions opts;
+  opts.max_events = 5'000;
+  const auto run = faulty.run(scheduler, opts, {}, alg1_correct(ids));
+  EXPECT_EQ(run.tallies.corruptions, 1u);
+  EXPECT_EQ(run.outcome, FaultOutcome::stalled);
+  EXPECT_EQ(faulty.network().automaton_as<co::Alg1Stabilizing>(0).role(),
+            co::Role::leader);
+  EXPECT_EQ(faulty.network().automaton_as<co::Alg1Stabilizing>(1).role(),
+            co::Role::leader);
+}
+
+TEST(FaultCorruptState, CorruptedSigmaIsHarmlessBookkeeping) {
+  // sigma is pure bookkeeping in Algorithm 1 — control flow reads only rho.
+  // A corrupted sigma therefore changes nothing: the run is still correct.
+  const std::vector<std::uint64_t> ids{2, 5, 3};
+  FaultyNetwork faulty(
+      alg1_net(ids), FaultPlan{}, {},
+      [](sim::PulseNetwork& net) {
+        co::PulseCounters corrupted;
+        corrupted.sigma_cw = 1'000;
+        net.automaton_as<co::Alg1Stabilizing>(0).load_corrupted_state(
+            corrupted, co::Role::undecided);
+      });
+  sim::GlobalFifoScheduler scheduler;
+  const auto run = faulty.run(scheduler, {}, {}, alg1_correct(ids));
+  EXPECT_EQ(run.outcome, FaultOutcome::recovered_correct);
+  EXPECT_TRUE(run.report.quiescent);
+}
+
+TEST(FaultCorruptState, PreseededChannelPulseNeverSettles) {
+  // A pulse sitting on a CW channel before the run starts is one pulse too
+  // many for the absorption budget: the ring never quiesces again.
+  const std::vector<std::uint64_t> ids{2, 3, 1};
+  auto probe = alg1_net(ids);
+  std::size_t cw_channel = 0;
+  for (std::size_t c = 0; c < probe.channel_count(); ++c) {
+    if (probe.channel_direction(c) == sim::Direction::cw) {
+      cw_channel = c;
+      break;
+    }
+  }
+  FaultPlan plan;
+  plan.preseed_channels.push_back({cw_channel, 1});
+  FaultyNetwork faulty(alg1_net(ids), plan);
+  sim::GlobalFifoScheduler scheduler;
+  sim::RunOptions opts;
+  opts.max_events = 2'000;
+  const auto run = faulty.run(scheduler, opts, {}, alg1_correct(ids));
+  EXPECT_EQ(run.tallies.spurious, 1u);
+  EXPECT_EQ(run.outcome, FaultOutcome::diverged);
+}
+
+// ---------------------------------------------------------------------------
+// Traces of faulty runs: first-class fault events, self-consistent audits.
+// ---------------------------------------------------------------------------
+
+TEST(FaultTrace, RecordedFaultyRunAuditsCleanSilentTamperingDoesNot) {
+  const auto ids = test::sparse_ids(5, 12, 4);
+  {
+    FaultPlan plan;
+    plan.seed = 13;
+    plan.all_channels.drop_prob = 0.03;
+    plan.all_channels.duplicate_prob = 0.03;
+    plan.all_channels.spurious_prob = 0.02;
+    FaultyNetwork faulty(alg1_net(ids), plan);
+    sim::RunOptions opts;
+    opts.max_events = 2'000;
+    sim::TraceRecorder trace;
+    trace.attach(faulty.network(), opts);
+    faulty.injector().attach_trace(trace);
+    sim::GlobalFifoScheduler scheduler;
+    const auto run = faulty.run(scheduler, opts);
+    ASSERT_GT(run.tallies.total(), 0u);  // the plan actually fired
+    // Recorded tampering is accounted for: the stream is self-consistent.
+    EXPECT_EQ(trace.audit(sim::ring_wiring(ids.size())), "");
+    EXPECT_EQ(trace.count(sim::TraceEvent::Kind::fault_drop),
+              run.tallies.dropped);
+    EXPECT_EQ(trace.count(sim::TraceEvent::Kind::fault_spurious),
+              run.tallies.spurious);
+    EXPECT_EQ(trace.count(sim::TraceEvent::Kind::fault_duplicate),
+              run.tallies.duplicated);
+  }
+  {
+    // Silent tampering (no injector, no fault events) still trips the audit.
+    auto net = alg1_net(ids);
+    sim::RunOptions opts;
+    opts.max_events = 2'000;
+    sim::TraceRecorder trace;
+    trace.attach(net, opts);
+    net.inject_fault(0);
+    sim::GlobalFifoScheduler scheduler;
+    net.run(scheduler, opts);
+    EXPECT_NE(trace.audit(sim::ring_wiring(ids.size())), "");
+  }
+}
+
+TEST(FaultTrace, ProbabilisticPlansAreReproducibleFromSeed) {
+  const auto ids = test::sparse_ids(6, 18, 8);
+  auto one_run = [&ids](std::uint64_t seed,
+                        std::vector<sim::TraceEvent>* trace_out) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.all_channels.drop_prob = 0.05;
+    plan.all_channels.duplicate_prob = 0.02;
+    plan.all_channels.spurious_prob = 0.02;
+    FaultyNetwork faulty(alg1_net(ids), plan);
+    sim::RunOptions opts;
+    opts.max_events = 3'000;
+    sim::TraceRecorder trace;
+    trace.attach(faulty.network(), opts);
+    faulty.injector().attach_trace(trace);
+    sim::RandomScheduler scheduler(21);
+    const auto run = faulty.run(scheduler, opts);
+    *trace_out = trace.events();
+    return run.tallies;
+  };
+  std::vector<sim::TraceEvent> a, b, c;
+  const auto tallies_a = one_run(41, &a);
+  const auto tallies_b = one_run(41, &b);
+  (void)one_run(42, &c);
+  EXPECT_GT(tallies_a.total(), 0u);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(tallies_a.total(), tallies_b.total());
+  EXPECT_NE(a, c);  // a different fault seed is a different execution
+}
+
+}  // namespace
+}  // namespace colex

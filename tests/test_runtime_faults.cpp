@@ -1,0 +1,255 @@
+// Fault injection on the real-thread runtime (thread_ring.hpp fault hooks):
+// crash-stop, crash-recover-with-erased-state, spurious pulse injection,
+// and the stall watchdog. Unlike the simulator-side fault harness
+// (sim/faults.hpp, test_faults.cpp), a ChaosScript races the algorithm
+// threads for real, so these tests assert properties that hold under EVERY
+// interleaving — chiefly "the run always returns, and if it could not
+// settle, the watchdog aborts it with a usable post-mortem" — rather than
+// one reproducible outcome.
+//
+// The one timing-independent impossibility these tests lean on: a spurious
+// pulse injected into Algorithm 1's CW cycle can never be absorbed once all
+// n absorptions are spent (each node absorbs at most one pulse, the one
+// making rho_cw == ID), so n+1 pulses guarantee a livelock that only the
+// watchdog can end.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/blocking_algs.hpp"
+
+namespace colex::rt {
+namespace {
+
+const std::vector<std::uint64_t> kIds{6, 11, 3, 9};  // max 11 at node 1
+
+void brief_sleep(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(ThreadRingFaults, CrashSwallowsDeliveriesAndClearsPending) {
+  ThreadRing ring(3);
+  auto io0 = ring.io(0);
+  io0.send(sim::Port::p1);  // queued at node 1, port p0
+  EXPECT_EQ(ring.total_sent(), 1u);
+  EXPECT_EQ(ring.total_consumed(), 0u);
+
+  ring.crash(1);
+  EXPECT_TRUE(ring.node_crashed(1));
+  EXPECT_EQ(ring.crashes(), 1u);
+  // The queued pulse died with the node...
+  EXPECT_EQ(ring.crash_lost(), 1u);
+  EXPECT_EQ(ring.total_consumed(), 1u);  // ...but conservation still holds.
+  // A delivery while down is swallowed, again without breaking conservation.
+  io0.send(sim::Port::p1);
+  EXPECT_EQ(ring.crash_lost(), 2u);
+  EXPECT_EQ(ring.total_sent(), 2u);
+  EXPECT_EQ(ring.total_consumed(), 2u);
+}
+
+TEST(ThreadRingFaults, StaleIoHandleIsDeadAfterRecovery) {
+  ThreadRing ring(3);
+  auto old_io = ring.io(1);  // incarnation of epoch 0
+  ring.crash(1);
+  ring.recover(1);
+  EXPECT_FALSE(ring.node_crashed(1));
+  EXPECT_EQ(ring.crash_epoch(1), 1u);
+
+  // The pre-crash handle must not be able to touch the recovered node:
+  // sends are suppressed, receives and waits fail immediately.
+  old_io.send(sim::Port::p1);
+  EXPECT_EQ(ring.total_sent(), 0u);
+  ring.io(0).send(sim::Port::p1);  // a real pulse for node 1
+  EXPECT_FALSE(old_io.recv(sim::Port::p0));
+  EXPECT_FALSE(old_io.wait_any());
+
+  // A post-recovery handle sees the pulse.
+  auto new_io = ring.io(1);
+  EXPECT_TRUE(new_io.recv(sim::Port::p0));
+}
+
+TEST(ThreadRingFaults, DumpReportsPerNodeState) {
+  ThreadRing ring(2);
+  ring.io(0).send(sim::Port::p1);
+  ring.inject_pulse(0, sim::Port::p0);
+  ring.crash(1);
+  const std::string dump = ring.dump();
+  EXPECT_NE(dump.find("node 0"), std::string::npos);
+  EXPECT_NE(dump.find("node 1"), std::string::npos);
+  EXPECT_NE(dump.find("CRASHED"), std::string::npos);
+  EXPECT_NE(dump.find("injected=1"), std::string::npos);
+  EXPECT_NE(dump.find("pending[p0]=1"), std::string::npos);
+}
+
+// An injected (spurious) CW pulse makes Algorithm 1's election livelock:
+// n+1 pulses chase n absorptions, so the surplus pulse circulates forever.
+// The watchdog must abort the run within the configured budget and hand
+// back a per-node post-mortem instead of hanging. The ring is driven by
+// hand so the pulse is provably in the fabric before any worker runs —
+// deterministic under every interleaving and any machine load.
+TEST(ThreadRingFaults, InjectedPulseTripsStallWatchdogWithDump) {
+  const std::size_t n = kIds.size();
+  ThreadRing ring(n);
+  ring.inject_pulse(0, sim::Port::p0);  // surplus pulse, pre-start
+
+  std::vector<BlockingOutcome> outs(n);
+  std::vector<std::thread> workers;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    workers.emplace_back([&, v] {
+      outs[v] = run_alg1_blocking(ring.io(v), kIds[v]);
+      ring.worker_finished();
+    });
+  }
+
+  EXPECT_FALSE(ring.monitor(/*timeout_ms=*/400));  // watchdog must trip
+  for (auto& w : workers) w.join();  // ...and stop must unblock everyone
+
+  const std::string dump = ring.dump();
+  EXPECT_NE(dump.find("injected=1"), std::string::npos);
+  EXPECT_NE(dump.find("node 0"), std::string::npos);
+  EXPECT_NE(dump.find("sent="), std::string::npos);
+  // The surplus shows up as exactly one unconsumed pulse.
+  EXPECT_EQ(ring.total_sent(), ring.total_consumed() + 1);
+}
+
+// The same injection through run_on_threads' ChaosScript. The script races
+// the workers (by design), so on a heavily loaded machine the election can
+// settle before the injection lands; in every interleaving the run must
+// return promptly, and whenever the injection did land pre-quiescence the
+// watchdog must report a stall dump.
+TEST(ThreadRingFaults, ChaosInjectionNeverHangsAndDumpsOnStall) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = run_on_threads(
+      kIds, {}, ThreadAlg::alg1, /*timeout_ms=*/500,
+      [](ThreadRing& ring) { ring.inject_pulse(0, sim::Port::p0); });
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  if (!result.completed) {
+    EXPECT_FALSE(result.stall_dump.empty());
+    EXPECT_NE(result.stall_dump.find("injected=1"), std::string::npos);
+  }
+  // Aborted promptly either way — the watchdog replaced an infinite hang
+  // with a bounded wait (generous margin for loaded CI machines).
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            10'000);
+}
+
+// Fault-free sanity: the chaos plumbing itself must not perturb a clean
+// run (the no-op script is the thread-side analogue of the simulator's
+// trivial FaultPlan, which is trace-identical by construction).
+TEST(ThreadRingFaults, NoOpChaosScriptLeavesElectionExact) {
+  const auto result =
+      run_on_threads(kIds, {}, ThreadAlg::alg1, 30'000, [](ThreadRing&) {});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.leader_count, 1u);
+  ASSERT_TRUE(result.leader.has_value());
+  EXPECT_EQ(*result.leader, 1u);
+  EXPECT_EQ(result.crashes, 0u);
+  EXPECT_EQ(result.stall_dump, "");
+  EXPECT_EQ(result.pulses, kIds.size() * 11u);  // Corollary 13
+}
+
+// Crash-stop with no recovery. Whenever the crash lands — before, during
+// or after the election settles — the run must complete via quiescence
+// detection (swallowed deliveries keep sent == consumed, and the parked
+// worker is accounted for), never hang, and report the crash.
+TEST(ThreadRingFaults, CrashStopAlwaysCompletesViaQuiescence) {
+  const auto result = run_on_threads(kIds, {}, ThreadAlg::alg1, 30'000,
+                                     [](ThreadRing& ring) {
+                                       brief_sleep(1);
+                                       ring.crash(2);
+                                     });
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.crashes, 1u);
+  EXPECT_EQ(result.recoveries, 0u);
+  EXPECT_TRUE(result.stall_dump.empty());
+  // The crashed node either never produced an outcome (worker parked, then
+  // stopped: state erased) or had already stopped with the pre-crash state;
+  // in both cases the field is a valid BlockingOutcome.
+  EXPECT_EQ(result.outcomes[2].restarts, 0u);
+}
+
+// Crash + recover: the worker re-runs the algorithm from scratch. Under a
+// stabilizing algorithm this either re-converges (the recovered node's
+// fresh initial pulse is eventually absorbed — possibly by the recovered
+// node itself, since its rho was erased) or induces a genuine livelock
+// (surplus pulse, no absorber left), in which case the watchdog must end
+// the run with a post-mortem. Both endings are legitimate; hanging is not.
+TEST(ThreadRingFaults, CrashRecoverEitherReconvergesOrTripsWatchdog) {
+  const auto result = run_on_threads(kIds, {}, ThreadAlg::alg1,
+                                     /*timeout_ms=*/800,
+                                     [](ThreadRing& ring) {
+                                       brief_sleep(1);
+                                       ring.crash(2);
+                                       brief_sleep(10);
+                                       ring.recover(2);
+                                     });
+  EXPECT_EQ(result.crashes, 1u);
+  EXPECT_EQ(result.recoveries, 1u);
+  if (result.completed) {
+    EXPECT_TRUE(result.stall_dump.empty());
+  } else {
+    EXPECT_FALSE(result.stall_dump.empty());
+    EXPECT_NE(result.stall_dump.find("crashes=1"), std::string::npos);
+  }
+}
+
+// The recovered-worker restart path, exercised deterministically by
+// driving the ring by hand (no monitor racing the script): let the
+// election settle, crash + recover node 2 while the fabric is provably
+// quiescent, and only then start the monitor. The recovered node re-runs
+// Algorithm 1 from erased state: its fresh initial pulse circulates (every
+// settled node has rho > ID and relays) until the recovered node itself
+// absorbs it at rho == ID — so the ring re-quiesces with node 2 wrongly
+// Leader and the old leader demoted, the threaded twin of the simulator's
+// crash-recovery finding in test_faults.cpp.
+TEST(ThreadRingFaults, RecoveredWorkerRerunsFromErasedState) {
+  const std::size_t n = kIds.size();
+  ThreadRing ring(n);
+  std::vector<BlockingOutcome> outs(n);
+  std::vector<std::uint64_t> restarts(n, 0);
+  std::vector<std::thread> workers;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    workers.emplace_back([&, v] {
+      for (;;) {
+        const std::uint64_t epoch = ring.crash_epoch(v);
+        NodeIo io = ring.io(v);
+        outs[v] = run_alg1_blocking(io, kIds[v]);
+        if (ring.crash_epoch(v) == epoch) break;
+        if (!ring.await_recovery(v)) {
+          outs[v] = BlockingOutcome{};
+          outs[v].id = kIds[v];
+          outs[v].stopped = true;
+          break;
+        }
+        ++restarts[v];
+      }
+      ring.worker_finished();
+    });
+  }
+
+  // Corollary 13: the fault-free election settles after exactly n * IDmax
+  // consumptions. No monitor is running, so nothing can stop the run early.
+  const std::uint64_t settled = n * 11u;
+  while (ring.total_consumed() < settled) brief_sleep(1);
+  ring.crash(2);
+  ring.recover(2);
+
+  ASSERT_TRUE(ring.monitor(30'000)) << ring.dump();
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(ring.crashes(), 1u);
+  EXPECT_EQ(ring.recoveries(), 1u);
+  EXPECT_EQ(restarts[2], 1u);
+  // The fresh incarnation's counters: it absorbed its own pulse at
+  // rho == ID and believes itself Leader; the legitimate leader (node 1,
+  // ID 11) was demoted by the extra lap of relayed pulses.
+  EXPECT_EQ(outs[2].counters.rho_cw, kIds[2]);
+  EXPECT_EQ(outs[2].role, co::Role::leader);
+  EXPECT_EQ(outs[1].role, co::Role::non_leader);
+}
+
+}  // namespace
+}  // namespace colex::rt
