@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "baselines/baselines.hpp"
+#include "bench_common.hpp"
 #include "co/election.hpp"
 #include "colib/apps.hpp"
 #include "colib/composed.hpp"
@@ -108,4 +109,19 @@ BENCHMARK(BM_BaselineChangRoberts)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark already has a
+// native JSON reporter, so BENCH_E10.json only records the wall time and
+// points at `--benchmark_format=json` for per-benchmark detail.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  colex::bench::WallTimer total;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  colex::bench::JsonReport report(
+      "E10",
+      "simulator micro-benchmarks; rerun with --benchmark_format=json for "
+      "per-benchmark timings");
+  report.finish(total.seconds());
+  return 0;
+}

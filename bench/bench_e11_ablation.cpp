@@ -85,6 +85,8 @@ int main() {
       "pulse blow-up (paper Section 1.1); (B) dropping the bus's "
       "serialization go-pulse corrupts executions under adversarial "
       "schedules");
+  bench::WallTimer total;
+  bench::JsonReport json_report("E11", "replication overhead and bus go-pulse ablations");
 
   // --- Part A: replication overhead -----------------------------------
   std::cout << "Part A: Section 1.1 replication overhead (Algorithm 2, "
@@ -141,6 +143,9 @@ int main() {
             << unsafe_runs << " adversaries corrupt the run\n";
 
   const bool all_ok = part_a_ok && safe_always_ok && unsafe_failures > 0;
+  json_report.root().set("all_ok", all_ok);
+  json_report.finish(total.seconds());
+
   bench::verdict(all_ok,
                  "replication costs exactly (r+1)x, and the go-pulse "
                  "serialization is load-bearing");

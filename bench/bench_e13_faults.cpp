@@ -36,6 +36,7 @@
 #include "co/replicated.hpp"
 #include "co/roles.hpp"
 #include "sim/faults.hpp"
+#include "sim/parallel.hpp"
 #include "sim/scheduler.hpp"
 #include "util/ids.hpp"
 #include "util/table.hpp"
@@ -161,26 +162,41 @@ std::uint64_t horizon(const AlgUnderTest& alg) {
   return faulty.injector().events_observed();
 }
 
+// Both sweeps fan their independent runs out on the work pool
+// (sim/parallel.hpp): each run writes only its own result slot, the
+// outcome histogram is folded sequentially afterwards, so the counts are
+// identical to the old serial loops for any worker count.
+
 OutcomeCounts scripted_sweep(const AlgUnderTest& alg,
                              const sim::FaultyNetwork::SafetyCheck& safety,
                              sim::FaultKind kind, std::size_t channels,
                              std::uint64_t max_events) {
-  OutcomeCounts counts;
   const std::uint64_t h = horizon(alg);
-  for (std::uint64_t at = 0; at <= h; ++at) {
-    for (std::size_t channel = 0; channel < channels; ++channel) {
-      sim::FaultPlan plan;
-      plan.script.push_back(sim::ScriptedFault{kind, at, channel, 0});
-      sim::FaultyNetwork faulty(alg.build(), std::move(plan));
-      sim::RunOptions opts;
-      opts.max_events = max_events;
-      sim::GlobalFifoScheduler sched;
-      const auto run = faulty.run(sched, opts, safety, alg.correct);
-      if (faulty.injector().tallies().total() == 0) continue;  // missed
-      ++counts.runs;
-      ++counts.faults_applied;
-      ++counts.by_outcome[run.outcome];
-    }
+  const std::size_t grid = static_cast<std::size_t>(h + 1) * channels;
+  struct Slot {
+    sim::FaultOutcome outcome{};
+    bool applied = false;
+  };
+  std::vector<Slot> slots(grid);
+  sim::parallel_for(grid, sim::default_workers(), [&](std::size_t i) {
+    const std::uint64_t at = static_cast<std::uint64_t>(i / channels);
+    const std::size_t channel = i % channels;
+    sim::FaultPlan plan;
+    plan.script.push_back(sim::ScriptedFault{kind, at, channel, 0});
+    sim::FaultyNetwork faulty(alg.build(), std::move(plan));
+    sim::RunOptions opts;
+    opts.max_events = max_events;
+    sim::GlobalFifoScheduler sched;
+    const auto run = faulty.run(sched, opts, safety, alg.correct);
+    slots[i].applied = faulty.injector().tallies().total() > 0;
+    slots[i].outcome = run.outcome;
+  });
+  OutcomeCounts counts;
+  for (const auto& slot : slots) {
+    if (!slot.applied) continue;  // fault scripted past quiescence: missed
+    ++counts.runs;
+    ++counts.faults_applied;
+    ++counts.by_outcome[slot.outcome];
   }
   return counts;
 }
@@ -189,8 +205,13 @@ OutcomeCounts probabilistic_sweep(
     const AlgUnderTest& alg, const sim::FaultyNetwork::SafetyCheck& safety,
     const sim::ChannelFaultProfile& profile, std::size_t seeds,
     std::uint64_t max_events) {
-  OutcomeCounts counts;
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+  struct Slot {
+    sim::FaultOutcome outcome{};
+    std::uint64_t faults = 0;
+  };
+  std::vector<Slot> slots(seeds);
+  sim::parallel_for(seeds, sim::default_workers(), [&](std::size_t i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
     sim::FaultPlan plan;
     plan.seed = seed;
     plan.all_channels = profile;
@@ -199,9 +220,14 @@ OutcomeCounts probabilistic_sweep(
     opts.max_events = max_events;
     sim::RandomScheduler sched(seed);
     const auto run = faulty.run(sched, opts, safety, alg.correct);
+    slots[i].outcome = run.outcome;
+    slots[i].faults = faulty.injector().tallies().total();
+  });
+  OutcomeCounts counts;
+  for (const auto& slot : slots) {
     ++counts.runs;
-    counts.faults_applied += faulty.injector().tallies().total();
-    ++counts.by_outcome[run.outcome];
+    counts.faults_applied += slot.faults;
+    ++counts.by_outcome[slot.outcome];
   }
   return counts;
 }
@@ -215,6 +241,25 @@ void outcome_row(util::Table& table, const std::string& alg,
                  counts.cell(sim::FaultOutcome::safety_violated)});
 }
 
+bench::Json outcome_json(const std::string& sweep, const std::string& alg,
+                         const std::string& fault,
+                         const OutcomeCounts& counts) {
+  auto j = bench::Json::object();
+  j.set("sweep", sweep)
+      .set("algorithm", alg)
+      .set("fault", fault)
+      .set("runs", counts.runs)
+      .set("faults_applied", counts.faults_applied);
+  for (const auto outcome :
+       {sim::FaultOutcome::recovered_correct, sim::FaultOutcome::stalled,
+        sim::FaultOutcome::diverged, sim::FaultOutcome::safety_violated}) {
+    const auto it = counts.by_outcome.find(outcome);
+    j.set(sim::to_string(outcome),
+          it == counts.by_outcome.end() ? std::uint64_t{0} : it->second);
+  }
+  return j;
+}
+
 }  // namespace
 
 int main() {
@@ -223,6 +268,11 @@ int main() {
       "reliable channels are assumed (p.2); exact pulse counting makes the "
       "algorithms brittle to count perturbations, except via the section-1.1 "
       "replication transformation, which tolerates insertions");
+
+  bench::WallTimer total;
+  bench::JsonReport report(
+      "E13", "fault-tolerance sweeps (scripted grid + seeded fault soup), "
+             "parallelized on the sweep pool");
 
   const auto ids = util::shuffled(util::dense_ids(5), 7);
   const std::size_t channels = 2 * ids.size();  // CW + CCW per edge
@@ -252,6 +302,7 @@ int main() {
     for (const auto& [kind, label] : kinds) {
       const auto counts = scripted_sweep(alg1, {}, kind, channels, budget);
       outcome_row(scripted, alg1.name, label, counts);
+      report.add_result(outcome_json("scripted", alg1.name, label, counts));
       if (kind == sim::FaultKind::drop &&
           counts.by_outcome.count(sim::FaultOutcome::recovered_correct)) {
         alg1_survives_any_cw_loss = true;
@@ -261,6 +312,7 @@ int main() {
     for (const auto& [kind, label] : kinds) {
       const auto counts = scripted_sweep(repl, {}, kind, channels, budget);
       outcome_row(scripted, repl.name, label, counts);
+      report.add_result(outcome_json("scripted", repl.name, label, counts));
       if (kind != sim::FaultKind::drop) {  // insertion classes
         const auto it =
             counts.by_outcome.find(sim::FaultOutcome::recovered_correct);
@@ -274,6 +326,7 @@ int main() {
       const auto counts =
           scripted_sweep(alg2, alg2_safety(ids), kind, channels, budget);
       outcome_row(scripted, alg2.name, label, counts);
+      report.add_result(outcome_json("scripted", alg2.name, label, counts));
       if (counts.by_outcome.count(sim::FaultOutcome::safety_violated)) {
         alg2_ever_miselects = true;
       }
@@ -286,14 +339,16 @@ int main() {
                "count as recovered)\n";
   util::Table soup({"algorithm", "fault", "runs", "faults", "recovered",
                     "stalled", "diverged", "safety-violated"});
-  auto soup_row = [&soup](const std::string& alg, const std::string& fault,
-                          const OutcomeCounts& counts) {
+  auto soup_row = [&soup, &report](const std::string& alg,
+                                   const std::string& fault,
+                                   const OutcomeCounts& counts) {
     soup.add_row({alg, fault, std::to_string(counts.runs),
                   std::to_string(counts.faults_applied),
                   counts.cell(sim::FaultOutcome::recovered_correct),
                   counts.cell(sim::FaultOutcome::stalled),
                   counts.cell(sim::FaultOutcome::diverged),
                   counts.cell(sim::FaultOutcome::safety_violated)});
+    report.add_result(outcome_json("probabilistic", alg, fault, counts));
   };
   const std::size_t seeds = 40;
   const std::array<std::pair<sim::ChannelFaultProfile, const char*>, 3>
@@ -337,6 +392,10 @@ int main() {
       alg2_ever_miselects = true;
     }
   }
+
+  report.root().set("workers",
+                    static_cast<std::uint64_t>(sim::default_workers()));
+  report.finish(total.seconds());
 
   bench::verdict(
       !alg1_survives_any_cw_loss && replication_covers_insertions &&

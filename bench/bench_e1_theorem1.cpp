@@ -16,6 +16,8 @@ int main() {
       "(bench_e1_theorem1)",
       "message complexity is exactly n(2*IDmax+1); the max-ID node wins; "
       "termination is quiescent under every adversary");
+  bench::WallTimer total;
+  bench::JsonReport report("E1", "Theorem 1 exact message complexity");
 
   struct Pattern {
     const char* name;
@@ -67,6 +69,9 @@ int main() {
     }
   }
   table.print(std::cout);
+  report.root().set("all_ok", all_ok);
+  report.finish(total.seconds());
+
   bench::verdict(all_ok,
                  "pulse counts match n(2*IDmax+1) exactly in every "
                  "configuration and under every scheduler");

@@ -17,6 +17,8 @@ int main() {
       "(bench_e2_theorem2)",
       "doubled scheme: n(4*IDmax-1) pulses; improved scheme: n(2*IDmax+1); "
       "single leader + consistent orientation on every port scramble");
+  bench::WallTimer total;
+  bench::JsonReport report("E2", "Theorem 2 / Prop. 15 non-oriented rings");
 
   util::Table table({"n", "IDmax", "scheme", "scrambles", "pulses",
                      "formula", "exact", "oriented", "stabilized"});
@@ -74,6 +76,9 @@ int main() {
     run_config(n, ids, co::IdScheme::improved, scrambles);
   }
   table.print(std::cout);
+  report.root().set("all_ok", all_ok);
+  report.finish(total.seconds());
+
   bench::verdict(all_ok,
                  "both virtual-ID schemes meet their exact pulse formulas "
                  "and orient every scramble consistently");

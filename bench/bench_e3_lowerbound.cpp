@@ -23,6 +23,8 @@ int main() {
       "E3  Theorem 4 lower bound via solitude patterns (bench_e3_lowerbound)",
       "every terminating content-oblivious election sends >= "
       "n*floor(log2(k/n)) pulses; each ID's solitude pattern is unique");
+  bench::WallTimer total;
+  bench::JsonReport json_report("E3", "Theorem 4 lower bound via solitude patterns");
 
   const lb::AutomatonFactory factory =
       [](std::uint64_t id) -> std::unique_ptr<sim::PulseAutomaton> {
@@ -88,6 +90,9 @@ int main() {
     }
   }
   table.print(std::cout);
+  json_report.root().set("all_ok", all_ok);
+  json_report.finish(total.seconds());
+
   bench::verdict(all_ok,
                  "shared solitude prefixes force >= n*floor(log2(k/n)) "
                  "pulses; Theorem 1's cost dominates the bound everywhere");

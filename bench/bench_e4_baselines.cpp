@@ -23,6 +23,8 @@ int main() {
       "classical: LeLann O(n^2), Chang-Roberts O(n^2)/O(n log n), "
       "HS/Peterson/Franklin O(n log n), all independent of IDmax; "
       "content-oblivious: Theta(n*IDmax) pulses (Theorems 1 and 4)");
+  bench::WallTimer total;
+  bench::JsonReport report("E4", "content-oblivious vs classical baselines");
 
   util::Table table({"n", "regime", "IDmax", "co-alg2 (pulses)", "lelann",
                      "chang-roberts", "hirschberg-sinclair", "peterson",
@@ -95,6 +97,9 @@ int main() {
   std::cout << "  O(n log n) baseline beats CO at n=128:        "
             << (log_beats_co ? "yes" : "NO") << "\n";
   all_ok = all_ok && co_pays_for_ids && classical_does_not && log_beats_co;
+
+  report.root().set("all_ok", all_ok);
+  report.finish(total.seconds());
 
   bench::verdict(all_ok,
                  "content obliviousness costs Theta(n*IDmax): the gap to "

@@ -20,6 +20,8 @@ int main() {
       "(bench_e5_anonymous)",
       "unique max sampled ID w.p. >= 1 - O(n^-c); IDmax = n^O(c^2) w.h.p.; "
       "election succeeds iff the unique-max event holds; complexity n^O(1)");
+  bench::WallTimer total;
+  bench::JsonReport report("E5", "Theorem 3 anonymous rings with randomness");
 
   // Part 1: sampling statistics (no network needed).
   util::Table stats({"n", "c", "trials", "unique-max rate", "median IDmax",
@@ -87,6 +89,9 @@ int main() {
             << " trials\n";
 
   const bool all_ok = coincide == trials && trials > 50;
+  report.root().set("all_ok", all_ok);
+  report.finish(total.seconds());
+
   bench::verdict(all_ok,
                  "anonymous election succeeds exactly on the Lemma 18 "
                  "unique-max event; sampled maxima scale polynomially in n");

@@ -5,10 +5,12 @@
 // at the end of every run.
 #include <iostream>
 #include <optional>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "co/alg1.hpp"
 #include "co/election.hpp"
+#include "sim/parallel.hpp"
 #include "sim/scheduler.hpp"
 #include "util/ids.hpp"
 #include "util/table.hpp"
@@ -20,6 +22,9 @@ int main() {
       "(bench_e6_schedulers)",
       "pulse complexity does not depend on the adversary; at quiescence "
       "every node has rho_cw = sigma_cw = IDmax (Lemma 11)");
+  bench::WallTimer total;
+  bench::JsonReport report(
+      "E6", "schedule independence and Lemma 11; seeded adversary sweep");
 
   const auto ids = util::shuffled(util::sparse_ids(24, 240, 5), 9);
   std::uint64_t id_max = 0;
@@ -58,24 +63,54 @@ int main() {
                    util::Table::num(r2.pulses), util::Table::num(r3.pulses),
                    util::Table::num(static_cast<std::uint64_t>(*r2.leader)),
                    lemma11 ? "holds" : "VIOLATED"});
+    auto row = bench::Json::object();
+    row.set("scheduler", named.name)
+        .set("alg1_pulses", r1.pulses)
+        .set("alg2_pulses", r2.pulses)
+        .set("alg3_pulses", r3.pulses)
+        .set("lemma11", lemma11);
+    report.add_result(std::move(row));
   }
   table.print(std::cout);
 
-  // Interleaved starts: spontaneous wake-ups racing with deliveries.
-  std::cout << "\nInterleaved-start runs (alg2, 20 seeds): ";
-  bool interleave_ok = true;
-  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+  // Interleaved starts: spontaneous wake-ups racing with deliveries. Each
+  // seed is an independent run, so the sweep fans out on the work pool;
+  // results land in per-seed slots and are checked on the main thread.
+  const std::size_t kSeeds = 64;
+  std::cout << "\nInterleaved-start runs (alg2, " << kSeeds << " seeds): ";
+  std::vector<std::uint64_t> sweep_pulses(kSeeds, 0);
+  std::vector<bool> sweep_valid(kSeeds, false);
+  bench::WallTimer sweep_timer;
+  sim::parallel_for(kSeeds, sim::default_workers(), [&](std::size_t i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
     sim::RandomScheduler sched(seed);
     sim::RunOptions opts;
     opts.interleave_starts = true;
     opts.interleave_seed = seed * 41;
     const auto r = co::elect_oriented_terminating(ids, sched, opts);
-    interleave_ok = interleave_ok && r.pulses == *ref2 &&
-                    r.valid_election();
+    sweep_pulses[i] = r.pulses;
+    sweep_valid[i] = r.valid_election();
+  });
+  const double sweep_seconds = sweep_timer.seconds();
+  bool interleave_ok = true;
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    interleave_ok =
+        interleave_ok && sweep_pulses[i] == *ref2 && sweep_valid[i];
   }
   std::cout << (interleave_ok ? "all exact" : "MISMATCH") << " ("
-            << *ref2 << " pulses each)\n";
+            << *ref2 << " pulses each, " << sweep_seconds << "s on "
+            << sim::default_workers() << " workers)\n";
   all_ok = all_ok && interleave_ok;
+
+  auto sweep = bench::Json::object();
+  sweep.set("seeds", static_cast<std::uint64_t>(kSeeds))
+      .set("workers", static_cast<std::uint64_t>(sim::default_workers()))
+      .set("pulses_each", *ref2)
+      .set("all_exact", interleave_ok)
+      .set("seconds", sweep_seconds);
+  report.root().set_json("interleaved_start_sweep", std::move(sweep));
+  report.root().set("all_ok", all_ok);
+  report.finish(total.seconds());
 
   bench::verdict(all_ok,
                  "identical pulse counts, leader, and Lemma 11 state under "

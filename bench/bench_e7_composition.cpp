@@ -21,6 +21,8 @@ int main() {
       "an elected leader serves as the root of [8]'s universal "
       "content-oblivious scheme; composition works because Algorithm 2 "
       "terminates quiescently with the leader last (paper Section 1.1)");
+  bench::WallTimer total;
+  bench::JsonReport report("E7", "Corollary 5 universal computation after election");
 
   util::Table table({"n", "IDmax", "app", "election pulses", "bus pulses",
                      "total", "election exact", "app correct",
@@ -101,6 +103,9 @@ int main() {
     }
   }
   table.print(std::cout);
+  report.root().set("all_ok", all_ok);
+  report.finish(total.seconds());
+
   bench::verdict(all_ok,
                  "election + universal simulation compose cleanly; every "
                  "bus node learned n; applications computed correct global "

@@ -19,6 +19,8 @@ int main() {
       "the paper's pseudocode, run on real threads, must match the "
       "event-driven simulator exactly: same leader, same roles, same "
       "n(2*IDmax+1) pulses");
+  bench::WallTimer total;
+  bench::JsonReport report("E8", "threaded runtime vs discrete simulator");
 
   util::Table table({"n", "alg", "repeats", "sim pulses", "thread pulses",
                      "all exact", "leader match", "wall ms/run"});
@@ -71,6 +73,9 @@ int main() {
     }
   }
   table.print(std::cout);
+  report.root().set("all_ok", all_ok);
+  report.finish(total.seconds());
+
   bench::verdict(all_ok,
                  "two independent execution models (event-driven simulation, "
                  "blocking threads) agree exactly on every run");

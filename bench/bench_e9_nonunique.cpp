@@ -19,6 +19,8 @@ int main() {
       "Lemma 16: Corollary 13 survives duplicate IDs (all max-holders end "
       "Leader); Theorem 2 needs only the maximum unique; Prop. 19: the "
       "resampling rule yields all-distinct IDs w.h.p.");
+  bench::WallTimer total;
+  bench::JsonReport report("E9", "non-unique IDs and ID resampling");
 
   bool all_ok = true;
 
@@ -107,6 +109,9 @@ int main() {
             << kRuns << " (" << util::Table::fixed(100 * rate, 1) << "%)\n";
   const bool prop19_ok = rate > 0.9;
   all_ok = all_ok && prop19_ok;
+
+  report.root().set("all_ok", all_ok);
+  report.finish(total.seconds());
 
   bench::verdict(all_ok,
                  "duplicate IDs behave exactly as Lemmas 16/17 predict, and "

@@ -33,9 +33,17 @@ run_config build-asan asan+ubsan "" \
   -DCOLEX_ASAN=ON -DCOLEX_UBSAN=ON
 
 # 3. TSan: the tests that exercise real threads (ThreadRing runtime,
-#    automaton host, and the threaded fault/chaos harness).
+#    automaton host, the threaded fault/chaos harness, and the parallel
+#    schedule explorer).
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-run_config build-tsan tsan "test_runtime|test_runtime_faults|test_automaton_host" \
+run_config build-tsan tsan \
+  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore" \
   -DCOLEX_TSAN=ON
+
+# 4. Bench smoke: the n=3 exhaustive sweep must finish, agree across both
+#    exploration engines, and show the snapshot engine >= 2x over replay
+#    (it writes BENCH_E12.json for the perf trail).
+echo "==> [bench-smoke] bench_e12_exhaustive --smoke"
+(cd build && ./bench/bench_e12_exhaustive --smoke)
 
 echo "==> all configurations green"

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "co/oriented.hpp"
 #include "co/roles.hpp"
@@ -27,6 +28,9 @@ class Alg2Terminating final : public sim::PulseAutomaton {
   void start(sim::PulseContext& ctx) override;
   void react(sim::PulseContext& ctx) override;
   bool terminated() const override { return done_; }
+  std::unique_ptr<sim::PulseAutomaton> clone() const override {
+    return std::make_unique<Alg2Terminating>(*this);
+  }
 
   std::uint64_t id() const { return id_; }
   Role role() const { return role_; }

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "co/roles.hpp"
@@ -63,6 +64,9 @@ class Alg3NonOriented final : public sim::PulseAutomaton {
 
   void start(sim::PulseContext& ctx) override;
   void react(sim::PulseContext& ctx) override;
+  std::unique_ptr<sim::PulseAutomaton> clone() const override {
+    return std::make_unique<Alg3NonOriented>(*this);
+  }
 
   /// The node's current ID: the initial one, or the latest Prop.-19 redraw.
   std::uint64_t id() const { return id_; }

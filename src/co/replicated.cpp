@@ -10,6 +10,15 @@ ReplicatedAdapter::ReplicatedAdapter(
   COLEX_EXPECTS(inner_ != nullptr);
 }
 
+std::unique_ptr<sim::PulseAutomaton> ReplicatedAdapter::clone() const {
+  auto copy = std::make_unique<ReplicatedAdapter>(inner_->clone(), r_);
+  for (const int i : {0, 1}) {
+    copy->physical_received_[i] = physical_received_[i];
+    copy->logical_consumed_[i] = logical_consumed_[i];
+  }
+  return copy;
+}
+
 void ReplicatedAdapter::absorb_physical(sim::PulseContext& ctx) {
   for (const sim::Port p : {sim::Port::p0, sim::Port::p1}) {
     while (ctx.recv_pulse(p)) ++physical_received_[sim::index(p)];

@@ -33,6 +33,7 @@ class ReplicatedAdapter final : public sim::PulseAutomaton {
   void start(sim::PulseContext& ctx) override;
   void react(sim::PulseContext& ctx) override;
   bool terminated() const override { return inner_->terminated(); }
+  std::unique_ptr<sim::PulseAutomaton> clone() const override;
 
   sim::PulseAutomaton& inner() { return *inner_; }
   const sim::PulseAutomaton& inner() const { return *inner_; }

@@ -29,6 +29,9 @@ class GatherAllApp final : public BusApp {
   void on_frame(std::size_t from, const Bits& payload) override;
   void on_token(BusCtl& ctl) override;
   void on_halt() override { halted_ = true; }
+  std::unique_ptr<BusApp> clone() const override {
+    return std::make_unique<GatherAllApp>(*this);
+  }
 
   bool complete() const;
   bool halted() const { return halted_; }
@@ -69,6 +72,9 @@ class SimNode {
   /// counterclockwise neighbor.
   virtual void on_message(SimContext& ctx, bool from_cw,
                           const Bits& payload) = 0;
+  /// Deep copy of the simulated node's state (for the fork-based schedule
+  /// explorer, which clones the whole bus+app+simnode stack per branch).
+  virtual std::unique_ptr<SimNode> clone() const = 0;
 };
 
 /// What a simulated node can do: inspect its coordinates and send.
@@ -109,6 +115,19 @@ class SimulatorApp final : public BusApp {
   void on_frame(std::size_t from, const Bits& payload) override;
   void on_token(BusCtl& ctl) override;
   void on_halt() override { halted_ = true; }
+  std::unique_ptr<BusApp> clone() const override {
+    auto copy = std::make_unique<SimulatorApp>(node_->clone());
+    copy->outbox_ = outbox_;
+    copy->my_offset_ = my_offset_;
+    copy->n_ = n_;
+    copy->is_root_ = is_root_;
+    copy->halted_ = halted_;
+    copy->delivered_ = delivered_;
+    copy->frames_seen_ = frames_seen_;
+    copy->frames_at_last_token_ = frames_at_last_token_;
+    copy->had_token_before_ = had_token_before_;
+    return copy;
+  }
 
   bool halted() const { return halted_; }
   std::size_t messages_delivered() const { return delivered_; }
@@ -153,6 +172,9 @@ class BroadcastApp final : public BusApp {
     }
   }
   void on_halt() override { halted_ = true; }
+  std::unique_ptr<BusApp> clone() const override {
+    return std::make_unique<BroadcastApp>(*this);
+  }
 
   std::optional<std::uint64_t> received() const { return received_; }
   bool halted() const { return halted_; }
@@ -180,6 +202,9 @@ class UniqueIdsApp final : public BusApp {
   void on_frame(std::size_t, const Bits&) override {}
   void on_token(BusCtl& ctl) override { ctl.halt(); }
   void on_halt() override { halted_ = true; }
+  std::unique_ptr<BusApp> clone() const override {
+    return std::make_unique<UniqueIdsApp>(*this);
+  }
 
   /// The node's new unique ID in [1, n]; 0 until the survey completes.
   std::uint64_t assigned_id() const { return assigned_id_; }
@@ -206,6 +231,9 @@ class RingSumSimNode final : public SimNode {
 
   void on_start(SimContext& ctx) override;
   void on_message(SimContext& ctx, bool from_cw, const Bits& payload) override;
+  std::unique_ptr<SimNode> clone() const override {
+    return std::make_unique<RingSumSimNode>(*this);
+  }
 
   std::optional<std::uint64_t> total() const { return total_; }
 
@@ -223,6 +251,9 @@ class ChangRobertsSimNode final : public SimNode {
 
   void on_start(SimContext& ctx) override;
   void on_message(SimContext& ctx, bool from_cw, const Bits& payload) override;
+  std::unique_ptr<SimNode> clone() const override {
+    return std::make_unique<ChangRobertsSimNode>(*this);
+  }
 
   bool is_leader() const { return is_leader_; }
   std::optional<std::uint64_t> leader() const { return leader_; }

@@ -35,6 +35,31 @@ BusNode::BusNode(std::unique_ptr<BusApp> app, bool is_root,
   COLEX_EXPECTS(app_ != nullptr);
 }
 
+BusNode::BusNode(const BusNode& other)
+    : app_(other.app_->clone()),
+      is_root_(other.is_root_),
+      options_(other.options_),
+      phase_(other.phase_),
+      pulses_sent_(other.pulses_sent_),
+      circles_seen_(other.circles_seen_),
+      my_offset_(other.my_offset_),
+      n_(other.n_),
+      holder_(other.holder_),
+      awaiting_go_(other.awaiting_go_),
+      emitting_(other.emitting_),
+      emission_(other.emission_),
+      emit_index_(other.emit_index_),
+      send_go_after_emission_(other.send_go_after_emission_),
+      decoder_(other.decoder_) {}
+
+std::unique_ptr<sim::PulseAutomaton> BusNode::clone() const {
+  return clone_bus();
+}
+
+std::unique_ptr<BusNode> BusNode::clone_bus() const {
+  return std::unique_ptr<BusNode>(new BusNode(*this));
+}
+
 void BusNode::start(sim::PulseContext& ctx) { begin(ctx); }
 
 void BusNode::begin(sim::PulseContext& ctx) {

@@ -92,6 +92,10 @@ class BusApp {
 
   /// The bus was shut down by HALT (final callback).
   virtual void on_halt() {}
+
+  /// Deep copy of the app's full state, for the fork-based schedule
+  /// explorer (BusNode::clone() clones its app along with the bus state).
+  virtual std::unique_ptr<BusApp> clone() const = 0;
 };
 
 /// Tuning/ablation knobs for the bus.
@@ -115,6 +119,10 @@ class BusNode final : public sim::PulseAutomaton {
   void start(sim::PulseContext& ctx) override;
   void react(sim::PulseContext& ctx) override;
   bool terminated() const override { return phase_ == Phase::done; }
+  std::unique_ptr<sim::PulseAutomaton> clone() const override;
+
+  /// As clone(), but typed — ComposedNode forks its bus layer through this.
+  std::unique_ptr<BusNode> clone_bus() const;
 
   /// Begin operating (used by ComposedNode at the phase switch; `start`
   /// simply calls this).
@@ -128,6 +136,10 @@ class BusNode final : public sim::PulseAutomaton {
   std::uint64_t pulses_sent() const { return pulses_sent_; }
 
  private:
+  /// Deep copy for clone()/clone_bus(): every value member is copied and
+  /// the app is cloned (no state may be shared between the forks).
+  BusNode(const BusNode& other);
+
   enum class Phase {
     idle,              // before begin()
     waiting_handoff,   // non-root, survey token not yet held

@@ -9,6 +9,16 @@ ComposedNode::ComposedNode(std::uint64_t id, std::unique_ptr<BusApp> app)
   COLEX_EXPECTS(pending_app_ != nullptr);
 }
 
+ComposedNode::ComposedNode(const ComposedNode& other)
+    : election_(other.election_),
+      pending_app_(other.pending_app_ ? other.pending_app_->clone()
+                                      : nullptr),
+      bus_(other.bus_ ? other.bus_->clone_bus() : nullptr) {}
+
+std::unique_ptr<sim::PulseAutomaton> ComposedNode::clone() const {
+  return std::unique_ptr<ComposedNode>(new ComposedNode(*this));
+}
+
 void ComposedNode::start(sim::PulseContext& ctx) { election_.start(ctx); }
 
 void ComposedNode::react(sim::PulseContext& ctx) {

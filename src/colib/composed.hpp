@@ -30,6 +30,7 @@ class ComposedNode final : public sim::PulseAutomaton {
   bool terminated() const override {
     return bus_ != nullptr && bus_->terminated();
   }
+  std::unique_ptr<sim::PulseAutomaton> clone() const override;
 
   const co::Alg2Terminating& election() const { return election_; }
   /// Null until the election phase has terminated at this node.
@@ -37,6 +38,10 @@ class ComposedNode final : public sim::PulseAutomaton {
   BusNode* bus() { return bus_.get(); }
 
  private:
+  /// Deep copy for clone(): the election phase copies by value, the app and
+  /// bus layers (whichever side of the phase switch the node is on) clone.
+  ComposedNode(const ComposedNode& other);
+
   co::Alg2Terminating election_;
   std::unique_ptr<BusApp> pending_app_;  // handed to the bus at the switch
   std::unique_ptr<BusNode> bus_;

@@ -2,13 +2,25 @@
 // small configurations, enumerate EVERY delivery order the asynchronous
 // adversary could choose and validate each complete execution.
 //
-// The execution tree is explored by deterministic replay: a schedule prefix
-// (sequence of channel choices) is re-run from the initial state with
-// ReplayScheduler, the set of pending channels at the frontier is read off,
-// and the explorer branches on each choice. A leaf is a quiescent
-// execution. Exponential, of course — use it where the tree is small (the
-// repository uses it for n <= 3 rings, up to ~10^5 schedules) and rely on
-// the seeded-adversary sweeps beyond that.
+// Two engines share one tree definition (branch on every pending channel,
+// in ascending channel order; a leaf is a quiescent execution):
+//
+//  * snapshot (default) — fork-based DFS. The frontier state is a live
+//    Network; each branch forks it with Network::clone() and advances the
+//    fork one delivery with deliver_step(). Cost per tree node: one clone
+//    plus one delivery (the last branch reuses the parent state in place,
+//    so chains cost no clone at all). This is the engine that makes n = 4
+//    rings and high-budget fault sweeps exhaustively checkable.
+//
+//  * replay (legacy) — re-runs the entire schedule prefix from the initial
+//    state with ReplayScheduler at every tree node, i.e. O(depth) work per
+//    node. Kept behind ExploreOptions::engine for the engine-equivalence
+//    test (tests/test_explore_engines.cpp) and as the perf baseline that
+//    BENCH_E12.json measures the snapshot engine against.
+//
+// Both engines visit the same states in the same order and therefore
+// produce identical ExploreStats and identical per-leaf outcome sequences.
+// For multi-threaded exploration of the same tree see sim/parallel.hpp.
 #pragma once
 
 #include <cstdint>
@@ -26,19 +38,78 @@ struct ExploreStats {
   std::uint64_t truncated = 0;   ///< subtrees skipped when budget ran out
   std::uint64_t max_depth = 0;   ///< deliveries on the deepest path
   bool exhaustive() const { return truncated == 0; }
+
+  friend bool operator==(const ExploreStats&, const ExploreStats&) = default;
 };
 
+enum class ExploreEngine {
+  snapshot,  ///< fork the frontier state per branch (fast path)
+  replay,    ///< re-run the schedule prefix per tree node (legacy baseline)
+};
+
+constexpr const char* to_string(ExploreEngine e) {
+  return e == ExploreEngine::snapshot ? "snapshot" : "replay";
+}
+
+struct ExploreOptions {
+  /// Caps the number of tree nodes visited; exceeding it marks subtrees
+  /// truncated. (For the replay engine a node visit is one full replay.)
+  std::uint64_t budget = 1'000'000;
+  ExploreEngine engine = ExploreEngine::snapshot;
+};
+
+namespace detail {
+
+/// Fork-based DFS from the state held in `net` (which must already be
+/// started). Consumes `net`: the last branch at every level advances it in
+/// place. `depth` is the number of deliveries that produced `net`.
+inline void snapshot_explore(
+    PulseNetwork& net, std::uint64_t depth, std::uint64_t& budget,
+    ExploreStats& stats, const std::function<void(PulseNetwork&)>& on_leaf) {
+  if (budget == 0) {
+    ++stats.truncated;
+    return;
+  }
+  --budget;
+  const auto pending = net.pending_channels();
+  if (pending.empty()) {
+    ++stats.leaves;
+    stats.max_depth = std::max(stats.max_depth, depth);
+    on_leaf(net);
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < pending.size(); ++i) {
+    auto fork = net.clone();
+    fork.deliver_step(pending[i]);
+    snapshot_explore(fork, depth + 1, budget, stats, on_leaf);
+    if (budget == 0) return;
+  }
+  net.deliver_step(pending.back());
+  snapshot_explore(net, depth + 1, budget, stats, on_leaf);
+}
+
+}  // namespace detail
+
 /// Enumerates every schedule of the network produced by `build` and calls
-/// `on_leaf` on each quiescent terminal state. `budget` caps the number of
-/// replays (one per tree node); exceeding it marks subtrees truncated.
+/// `on_leaf` on each quiescent terminal state.
 inline ExploreStats explore_all_schedules(
     const std::function<PulseNetwork()>& build,
     const std::function<void(PulseNetwork&)>& on_leaf,
-    std::uint64_t budget = 1'000'000) {
-  COLEX_EXPECTS(budget > 0);
+    const ExploreOptions& options) {
+  COLEX_EXPECTS(options.budget > 0);
   ExploreStats stats;
-  std::vector<std::size_t> prefix;
+  std::uint64_t budget = options.budget;
 
+  if (options.engine == ExploreEngine::snapshot) {
+    auto net = build();
+    net.start_all();
+    detail::snapshot_explore(net, 0, budget, stats, on_leaf);
+    return stats;
+  }
+
+  // Legacy replay engine: materialize each tree node by re-running its
+  // schedule prefix from scratch.
+  std::vector<std::size_t> prefix;
   std::function<void()> recurse = [&]() {
     if (budget == 0) {
       ++stats.truncated;
@@ -73,6 +144,17 @@ inline ExploreStats explore_all_schedules(
   };
   recurse();
   return stats;
+}
+
+/// Budget-only overload (snapshot engine), the drop-in signature the test
+/// and bench suite grew up with.
+inline ExploreStats explore_all_schedules(
+    const std::function<PulseNetwork()>& build,
+    const std::function<void(PulseNetwork&)>& on_leaf,
+    std::uint64_t budget = 1'000'000) {
+  ExploreOptions options;
+  options.budget = budget;
+  return explore_all_schedules(build, on_leaf, options);
 }
 
 }  // namespace colex::sim

@@ -23,6 +23,7 @@
 //   "in transit" (footnote 2), and so do we.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -117,6 +118,14 @@ class Automaton {
   /// model violations — they never happen for quiescently terminating
   /// algorithms).
   virtual bool terminated() const { return false; }
+
+  /// Deep copy of the automaton's current state. The fork-based schedule
+  /// explorer (sim/explore.hpp) snapshots a frontier network — including
+  /// every node's algorithm state — instead of replaying the schedule
+  /// prefix, so every automaton must know how to duplicate itself. The
+  /// copy must share no mutable state with the original (forks are
+  /// explored on different branches, possibly on different threads).
+  virtual std::unique_ptr<Automaton<P>> clone() const = 0;
 };
 
 /// What happened during a run (see `run_to_quiescence`).
@@ -270,6 +279,104 @@ class Network {
 
   bool quiescent() const { return in_transit() == 0; }
 
+  // --- snapshot / fork API (the exploration engine's hot path) ------------
+
+  /// Deep snapshot of the whole network: channel contents, inboxes,
+  /// counters, and — via Automaton::clone — every node's algorithm state.
+  /// The send observer is deliberately NOT copied: forks are exploration
+  /// states, not traced runs, and an observer captured by reference would
+  /// alias the original. The copy shares no mutable state with the source,
+  /// so forks can be explored concurrently.
+  Network clone() const {
+    Network copy;
+    copy.channels_ = channels_;
+    copy.nonempty_ = nonempty_;
+    copy.next_seq_ = next_seq_;
+    copy.stamp_ = stamp_;
+    copy.total_sent_ = total_sent_;
+    copy.total_delivered_ = total_delivered_;
+    copy.total_consumed_ = total_consumed_;
+    copy.injected_ = injected_;
+    copy.dropped_ = dropped_;
+    copy.duplicated_ = duplicated_;
+    copy.crashes_ = crashes_;
+    copy.recoveries_ = recoveries_;
+    copy.crash_lost_ = crash_lost_;
+    copy.nodes_.resize(nodes_.size());
+    for (std::size_t v = 0; v < nodes_.size(); ++v) {
+      const auto& src = nodes_[v];
+      auto& dst = copy.nodes_[v];
+      dst.automaton = src.automaton ? src.automaton->clone() : nullptr;
+      dst.out_channel[0] = src.out_channel[0];
+      dst.out_channel[1] = src.out_channel[1];
+      dst.inbox[0] = src.inbox[0];
+      dst.inbox[1] = src.inbox[1];
+      dst.consumed[0] = src.consumed[0];
+      dst.consumed[1] = src.consumed[1];
+      dst.started = src.started;
+      dst.crashed = src.crashed;
+    }
+    return copy;
+  }
+
+  /// Performs every pending start action in node-id order — the same order
+  /// the runner uses when starts are not interleaved. Materializes the
+  /// exploration tree's root state without needing a Scheduler.
+  void start_all() {
+    for (NodeId v = 0; v < nodes_.size(); ++v) {
+      auto& node = nodes_[v];
+      if (node.started) continue;
+      NetworkContext<P> ctx(*this, v);
+      ++stamp_;
+      node.started = true;
+      node.automaton->start(ctx);
+      node.automaton->react(ctx);
+    }
+  }
+
+  /// Delivers the head payload of channel `c` and runs the destination's
+  /// react — one adversary step, without a Scheduler or RunOptions. This is
+  /// how the fork-based explorer advances a snapshot; the state transition
+  /// is identical to the runner's `deliver` (crashed and terminated
+  /// destinations swallow the payload, an unstarted destination performs
+  /// its event-driven wake-up first).
+  void deliver_step(std::size_t c) {
+    COLEX_EXPECTS(c < channels_.size() && !channels_[c].items.empty());
+    auto& ch = channels_[c];
+    Item item = std::move(ch.items.front());
+    ch.items.pop_front();
+    unmark_if_empty(c);
+    ++total_delivered_;
+    const NodeId v = ch.to_node;
+    auto& node = nodes_[v];
+    if (node.crashed) {
+      ++crash_lost_;
+      ++total_consumed_;
+      return;
+    }
+    if (node.automaton->terminated()) {
+      ++total_consumed_;
+      return;
+    }
+    node.inbox[index(ch.to_port)].push_back(std::move(item.payload));
+    NetworkContext<P> ctx(*this, v);
+    ++stamp_;
+    if (!node.started) {
+      node.started = true;
+      node.automaton->start(ctx);
+    }
+    node.automaton->react(ctx);
+  }
+
+  /// Ids of channels with payloads in flight, in ascending channel order —
+  /// the adversary's current choice set, enumerated deterministically so
+  /// both exploration engines branch in the same order.
+  std::vector<std::size_t> pending_channels() const {
+    std::vector<std::size_t> out(nonempty_.begin(), nonempty_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
   // --- model-violation injection (test-only adversary beyond the model) ---
 
   /// Injects a payload that nobody sent into channel `c`. The paper's model
@@ -388,9 +495,24 @@ class Network {
     RunReport report;
     util::Xoshiro256StarStar interleave_rng(opts.interleave_seed);
 
+    // Unstarted-node bookkeeping: a vector of pending nodes plus a per-node
+    // position index, so removal is O(1) swap-and-pop instead of an O(n)
+    // scan-and-erase per start event.
     std::vector<NodeId> unstarted;
+    std::vector<std::size_t> unstarted_pos(nodes_.size(), kNoPos);
     unstarted.reserve(nodes_.size());
-    for (NodeId v = nodes_.size(); v-- > 0;) unstarted.push_back(v);
+    for (NodeId v = nodes_.size(); v-- > 0;) {
+      unstarted_pos[v] = unstarted.size();
+      unstarted.push_back(v);
+    }
+    auto remove_unstarted = [&](std::size_t k) {
+      const NodeId victim = unstarted[k];
+      const NodeId moved = unstarted.back();
+      unstarted[k] = moved;
+      unstarted_pos[moved] = k;
+      unstarted.pop_back();
+      unstarted_pos[victim] = kNoPos;
+    };
 
     auto do_start = [&](NodeId v) {
       NetworkContext<P> ctx(*this, v);
@@ -401,20 +523,16 @@ class Network {
       if (opts.on_event) opts.on_event(*this);
     };
     auto start_specific = [&](NodeId v) {
-      for (std::size_t k = 0; k < unstarted.size(); ++k) {
-        if (unstarted[k] == v) {
-          unstarted.erase(unstarted.begin() + static_cast<std::ptrdiff_t>(k));
-          do_start(v);
-          return;
-        }
-      }
-      COLEX_ASSERT(false);  // start_specific called for a started node
+      const std::size_t k = unstarted_pos[v];
+      COLEX_ASSERT(k != kNoPos);  // else: called for a started node
+      remove_unstarted(k);
+      do_start(v);
     };
 
     if (!opts.interleave_starts) {
       while (!unstarted.empty()) {
         const NodeId v = unstarted.back();
-        unstarted.pop_back();
+        remove_unstarted(unstarted.size() - 1);
         do_start(v);
       }
     }
@@ -431,7 +549,7 @@ class Network {
           (in_flight() == 0 || interleave_rng.bernoulli(0.5))) {
         const std::size_t k = interleave_rng.below(unstarted.size());
         const NodeId v = unstarted[k];
-        unstarted.erase(unstarted.begin() + static_cast<std::ptrdiff_t>(k));
+        remove_unstarted(k);
         do_start(v);
         ++events;
         continue;

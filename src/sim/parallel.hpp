@@ -1,0 +1,165 @@
+// Parallel sweep harness: a minimal work-stealing pool plus a parallel
+// version of the exhaustive schedule explorer (sim/explore.hpp).
+//
+// Determinism contract
+// --------------------
+// Every parallel primitive here is *worker-count oblivious*: the result is
+// a pure function of the inputs, identical for 1, 2, or N workers, because
+//  * tasks write only to their own index's slot of caller-owned storage
+//    (no shared accumulators, no locks on the hot path), and
+//  * aggregation happens sequentially, in task-index order, after the pool
+//    has joined.
+// The pool itself is a single atomic cursor over the task range: idle
+// workers "steal" the next unclaimed index, so uneven subtrees load-balance
+// without any per-task queueing machinery. tests/test_parallel_explore.cpp
+// asserts the 1-vs-N equivalence and runs under TSan in ci.sh.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/explore.hpp"
+#include "sim/network.hpp"
+#include "util/contracts.hpp"
+
+namespace colex::sim {
+
+/// Default worker count for sweeps: hardware concurrency, at least 1.
+inline std::size_t default_workers() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+/// Runs `count` independent tasks on up to `workers` threads; `fn(i)` is
+/// invoked exactly once for every i in [0, count). With workers <= 1 the
+/// tasks run inline on the calling thread — the zero-thread degenerate case
+/// the determinism tests compare against. `fn` must confine its writes to
+/// per-index state; it must not throw (a worker-thread exception would
+/// terminate the process).
+inline void parallel_for(std::size_t count, std::size_t workers,
+                         const std::function<void(std::size_t)>& fn) {
+  if (workers <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  auto drain = [&cursor, count, &fn] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  const std::size_t spawned = std::min(workers, count) - 1;
+  pool.reserve(spawned);
+  for (std::size_t t = 0; t < spawned; ++t) pool.emplace_back(drain);
+  drain();  // the calling thread works too
+  for (auto& th : pool) th.join();
+}
+
+struct ParallelExploreOptions {
+  /// Caps tree nodes visited, split deterministically across subtrees (the
+  /// frontier split below), so truncation does not depend on worker count.
+  std::uint64_t budget = 1'000'000;
+  std::size_t workers = 1;
+  /// The explorer first expands the tree breadth-first (sequentially) until
+  /// at least this many independent frontier subtrees exist, then fans the
+  /// subtrees out to the pool. More subtrees = better load balancing at the
+  /// price of a longer sequential prefix.
+  std::size_t min_subtrees = 64;
+};
+
+/// Parallel exhaustive exploration with deterministic aggregation. Each
+/// frontier subtree explores into its own ExploreStats and its own `Acc`
+/// (copied from the neutral value in `acc`); after the pool joins, the
+/// per-subtree results are folded into `acc` in subtree order with
+/// `merge(acc, subtree_acc)`, and the summed stats are returned. `on_leaf`
+/// may freely mutate its Acc — it owns it exclusively — but must not touch
+/// anything shared.
+///
+/// Exhaustive runs produce exactly the leaves of the sequential snapshot
+/// engine (leaf *order* differs: breadth-first prefix, then depth-first per
+/// subtree — but identically so for every worker count).
+template <typename Acc>
+ExploreStats parallel_explore_all_schedules(
+    const std::function<PulseNetwork()>& build,
+    const std::function<void(Acc&, PulseNetwork&)>& on_leaf,
+    const std::function<void(Acc&, const Acc&)>& merge, Acc& acc,
+    const ParallelExploreOptions& options) {
+  COLEX_EXPECTS(options.budget > 0);
+  ExploreStats stats;
+  std::uint64_t budget = options.budget;
+
+  struct Frontier {
+    PulseNetwork net;
+    std::uint64_t depth = 0;
+  };
+  std::deque<Frontier> queue;
+  {
+    Frontier root;
+    root.net = build();
+    root.net.start_all();
+    queue.push_back(std::move(root));
+  }
+
+  // Sequential breadth-first expansion into independent subtree roots.
+  // Each expansion is one tree-node visit (same budget unit as the DFS).
+  const std::size_t want = options.min_subtrees == 0 ? 1 : options.min_subtrees;
+  while (!queue.empty() && queue.size() < want && budget > 0) {
+    Frontier f = std::move(queue.front());
+    queue.pop_front();
+    --budget;
+    const auto pending = f.net.pending_channels();
+    if (pending.empty()) {
+      ++stats.leaves;
+      stats.max_depth = std::max(stats.max_depth, f.depth);
+      on_leaf(acc, f.net);
+      continue;
+    }
+    for (std::size_t i = 0; i + 1 < pending.size(); ++i) {
+      Frontier child;
+      child.net = f.net.clone();
+      child.net.deliver_step(pending[i]);
+      child.depth = f.depth + 1;
+      queue.push_back(std::move(child));
+    }
+    f.net.deliver_step(pending.back());
+    ++f.depth;
+    queue.push_back(std::move(f));
+  }
+  if (queue.empty()) return stats;  // whole tree fit into the expansion
+
+  // Deterministic budget split: subtree i gets an equal share, the first
+  // (budget mod subtrees) subtrees one unit more. Independent of workers.
+  const std::size_t subtrees = queue.size();
+  std::vector<Frontier> roots(std::make_move_iterator(queue.begin()),
+                              std::make_move_iterator(queue.end()));
+  std::vector<std::uint64_t> quota(subtrees, budget / subtrees);
+  for (std::size_t i = 0; i < budget % subtrees; ++i) ++quota[i];
+
+  std::vector<ExploreStats> sub_stats(subtrees);
+  std::vector<Acc> sub_acc(subtrees, acc);
+  parallel_for(subtrees, options.workers, [&](std::size_t i) {
+    Acc& local = sub_acc[i];
+    const std::function<void(PulseNetwork&)> leaf =
+        [&local, &on_leaf](PulseNetwork& net) { on_leaf(local, net); };
+    detail::snapshot_explore(roots[i].net, roots[i].depth, quota[i],
+                             sub_stats[i], leaf);
+  });
+
+  for (std::size_t i = 0; i < subtrees; ++i) {
+    stats.leaves += sub_stats[i].leaves;
+    stats.truncated += sub_stats[i].truncated;
+    stats.max_depth = std::max(stats.max_depth, sub_stats[i].max_depth);
+    merge(acc, sub_acc[i]);
+  }
+  return stats;
+}
+
+}  // namespace colex::sim

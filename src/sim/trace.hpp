@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -127,16 +126,24 @@ class BasicTraceRecorder {
   /// `ring_wiring(net)`.
   template <typename Wiring>
   std::string audit(Wiring&& wiring) const {
-    std::map<std::pair<NodeId, int>, std::int64_t> balance;
+    // Flat per-channel balances, indexed node*2+port (channels are dense in
+    // node IDs); this runs once per trace event, so no tree lookups here.
+    std::vector<std::int64_t> balance;
+    auto slot = [&balance](NodeId node, Port port) -> std::int64_t& {
+      const std::size_t i =
+          node * 2 + static_cast<std::size_t>(sim::index(port));
+      if (i >= balance.size()) balance.resize(i + 1, 0);
+      return balance[i];
+    };
     for (const auto& e : events_) {
       switch (e.kind) {
         case TraceEvent::Kind::send:
         case TraceEvent::Kind::fault_spurious:
         case TraceEvent::Kind::fault_duplicate:
-          ++balance[{e.node, sim::index(e.port)}];
+          ++slot(e.node, e.port);
           break;
         case TraceEvent::Kind::fault_drop: {
-          auto& b = balance[{e.node, sim::index(e.port)}];
+          auto& b = slot(e.node, e.port);
           if (b <= 0) {
             return "fault-drop on empty channel from node " +
                    std::to_string(e.node) + " port " +
@@ -148,7 +155,7 @@ class BasicTraceRecorder {
         }
         case TraceEvent::Kind::deliver: {
           const auto from = wiring(e.node, e.port);
-          auto& b = balance[{from.first, sim::index(from.second)}];
+          auto& b = slot(from.first, from.second);
           if (b <= 0) {
             return "channel from node " + std::to_string(from.first) +
                    " port " + std::to_string(sim::index(from.second)) +

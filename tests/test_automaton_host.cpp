@@ -161,6 +161,9 @@ class EternalRelay final : public sim::PulseAutomaton {
       while (ctx.recv_pulse(p)) ctx.send(sim::opposite(p));
     }
   }
+  std::unique_ptr<sim::PulseAutomaton> clone() const override {
+    return std::make_unique<EternalRelay>(*this);
+  }
 };
 
 TEST(AutomatonHost, TimeoutOnNonQuiescentProtocol) {

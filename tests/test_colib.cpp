@@ -140,6 +140,9 @@ TEST(Bus, NonRootHaltIsRejected) {
     void on_ready(std::size_t, std::size_t, bool) override {}
     void on_frame(std::size_t, const Bits&) override {}
     void on_token(BusCtl& ctl) override { ctl.halt(); }
+    std::unique_ptr<BusApp> clone() const override {
+      return std::make_unique<BadApp>(*this);
+    }
   };
   auto net = sim::PulseNetwork::ring(2);
   net.set_automaton(0, std::make_unique<BusNode>(

@@ -95,6 +95,9 @@ class FloodSimNode final : public SimNode {
     }
   }
   void on_message(SimContext&, bool, const Bits&) override { ++received_; }
+  std::unique_ptr<SimNode> clone() const override {
+    return std::make_unique<FloodSimNode>(*this);
+  }
 
   std::size_t received() const { return received_; }
 
@@ -149,6 +152,9 @@ class PassiveSimNode final : public SimNode {
  public:
   void on_start(SimContext&) override {}
   void on_message(SimContext&, bool, const Bits&) override {}
+  std::unique_ptr<SimNode> clone() const override {
+    return std::make_unique<PassiveSimNode>(*this);
+  }
 };
 
 TEST(CompositionStress, PassiveAlgorithmHaltsAfterOneSilentRotation) {
@@ -262,6 +268,10 @@ class RecordingApp final : public BusApp {
     } else {
       ctl.pass();
     }
+  }
+
+  std::unique_ptr<BusApp> clone() const override {
+    return std::make_unique<RecordingApp>(*this);
   }
 
   const std::vector<std::pair<std::size_t, Bits>>& frames() const {

@@ -1,0 +1,126 @@
+// Engine equivalence: the fork-based snapshot explorer and the legacy
+// replay-from-scratch explorer define the *same* tree (branch on every
+// pending channel in ascending channel order), so on every configuration
+// they must visit the same leaves in the same order — identical
+// ExploreStats and an identical sequence of per-leaf election outcomes.
+// This is what licenses keeping only snapshot on the hot path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "co/alg1.hpp"
+#include "co/alg2.hpp"
+#include "co/alg3.hpp"
+#include "sim/explore.hpp"
+#include "sim/network.hpp"
+
+namespace colex::co {
+namespace {
+
+/// Everything observable about a finished execution, flattened to a string:
+/// total pulse count plus each node's role. Two leaves with equal
+/// signatures reached equal outcomes.
+template <typename Alg>
+std::string signature(sim::PulseNetwork& net, std::size_t n) {
+  std::ostringstream os;
+  os << net.total_sent();
+  for (sim::NodeId v = 0; v < n; ++v) {
+    os << '|' << to_string(net.automaton_as<Alg>(v).role());
+  }
+  return os.str();
+}
+
+/// Explores the same configuration with both engines and requires identical
+/// stats and identical per-leaf outcome sequences.
+template <typename Alg>
+void expect_engines_agree(const std::function<sim::PulseNetwork()>& build,
+                          std::size_t n, std::uint64_t budget) {
+  sim::ExploreStats stats[2];
+  std::vector<std::string> leaves[2];
+  for (const auto engine :
+       {sim::ExploreEngine::snapshot, sim::ExploreEngine::replay}) {
+    const std::size_t e = engine == sim::ExploreEngine::snapshot ? 0 : 1;
+    sim::ExploreOptions options;
+    options.budget = budget;
+    options.engine = engine;
+    stats[e] = sim::explore_all_schedules(
+        build,
+        [&leaves, e, n](sim::PulseNetwork& net) {
+          leaves[e].push_back(signature<Alg>(net, n));
+        },
+        options);
+  }
+  EXPECT_EQ(stats[0], stats[1]);
+  ASSERT_EQ(leaves[0].size(), leaves[1].size());
+  for (std::size_t i = 0; i < leaves[0].size(); ++i) {
+    ASSERT_EQ(leaves[0][i], leaves[1][i]) << "leaf " << i;
+  }
+}
+
+template <typename Alg>
+std::function<sim::PulseNetwork()> ring_of(
+    const std::vector<std::uint64_t>& ids) {
+  return [ids] {
+    auto net = sim::PulseNetwork::ring(ids.size());
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      net.set_automaton(v, std::make_unique<Alg>(ids[v]));
+    }
+    return net;
+  };
+}
+
+TEST(ExploreEngines, Alg2SingleNode) {
+  expect_engines_agree<Alg2Terminating>(ring_of<Alg2Terminating>({3}), 1,
+                                        100'000);
+}
+
+TEST(ExploreEngines, Alg2TwoNodes) {
+  expect_engines_agree<Alg2Terminating>(ring_of<Alg2Terminating>({1, 2}), 2,
+                                        2'000'000);
+}
+
+TEST(ExploreEngines, Alg2TwoNodesSparseIds) {
+  expect_engines_agree<Alg2Terminating>(ring_of<Alg2Terminating>({4, 2}), 2,
+                                        4'000'000);
+}
+
+TEST(ExploreEngines, Alg2ThreeNodes) {
+  expect_engines_agree<Alg2Terminating>(ring_of<Alg2Terminating>({2, 3, 1}),
+                                        3, 4'000'000);
+}
+
+TEST(ExploreEngines, Alg1ThreeNodes) {
+  expect_engines_agree<Alg1Stabilizing>(ring_of<Alg1Stabilizing>({2, 3, 1}),
+                                        3, 2'000'000);
+}
+
+TEST(ExploreEngines, Alg3ScrambledTwoNodes) {
+  const std::vector<std::uint64_t> ids{2, 3};
+  const std::vector<bool> flips{true, false};
+  const auto build = [ids, flips] {
+    auto net = sim::PulseNetwork::ring(2, flips);
+    for (sim::NodeId v = 0; v < 2; ++v) {
+      net.set_automaton(
+          v, std::make_unique<Alg3NonOriented>(ids[v],
+                                               Alg3NonOriented::Options{}));
+    }
+    return net;
+  };
+  expect_engines_agree<Alg3NonOriented>(build, 2, 4'000'000);
+}
+
+TEST(ExploreEngines, TruncationPatternMatchesUnderTightBudget) {
+  // With a budget far below the tree size, both engines must truncate at
+  // the same tree nodes: equal leaf/truncated counts and equal per-leaf
+  // outcomes prefix (both count a tree-node visit as one budget unit).
+  expect_engines_agree<Alg2Terminating>(ring_of<Alg2Terminating>({2, 3, 1}),
+                                        3, 500);
+}
+
+}  // namespace
+}  // namespace colex::co

@@ -5,7 +5,8 @@
 // what Algorithms 1-4 compute with. These tests make that boundary
 // executable. The headline facts, each verified exhaustively for n <= 3
 // (every injection point x every channel x every fault kind x several
-// adversarial schedulers):
+// adversarial schedulers; the grids fan out on sim/parallel.hpp's work
+// pool, with per-run event budgets of 20k):
 //
 //  * Algorithm 1 ignores the CCW direction entirely, so any spurious pulse
 //    there is quarantined: the election still settles correctly.
@@ -41,6 +42,7 @@
 #include "co/replicated.hpp"
 #include "helpers.hpp"
 #include "sim/faults.hpp"
+#include "sim/parallel.hpp"
 #include "sim/trace.hpp"
 
 namespace colex {
@@ -193,12 +195,15 @@ struct SingleFaultResult {
 };
 
 /// Runs `build()` under one scripted single fault and classifies the run.
+/// Safe to call concurrently: every run builds its own network, scheduler,
+/// and injector. The exhaustive sweeps below fan these calls out with
+/// sim::parallel_for and keep all gtest assertions on the main thread.
 SingleFaultResult run_single_fault(
     const std::function<sim::PulseNetwork()>& build,
     const SchedulerFactory& make_scheduler, FaultKind kind, std::uint64_t at,
     std::size_t channel, const FaultyNetwork::SafetyCheck& safety,
     const FaultyNetwork::OutputCheck& correct,
-    std::uint64_t max_events = 5'000) {
+    std::uint64_t max_events = 20'000) {
   FaultPlan plan;
   plan.script.push_back(sim::ScriptedFault{kind, at, channel, 0});
   FaultyNetwork faulty(build(), std::move(plan));
@@ -299,39 +304,52 @@ TEST(FaultSweepAlg1, ExhaustiveSingleChannelFaultClassification) {
     for (const auto& make_scheduler : sweep_schedulers()) {
       const std::uint64_t horizon = fault_free_events(build, make_scheduler);
       auto probe = alg1_net(ids);  // channel metadata only
-      for (std::uint64_t at = 0; at <= horizon; ++at) {
-        for (std::size_t c = 0; c < probe.channel_count(); ++c) {
-          const sim::Direction dir = probe.channel_direction(c);
-          for (const FaultKind kind : kinds) {
-            const auto result = run_single_fault(build, make_scheduler, kind,
-                                                 at, c, {}, correct);
-            if (!result.applied) {
-              // The fault found no payload to act on (e.g. a drop on an
-              // empty channel): the run is the fault-free one.
-              EXPECT_EQ(result.outcome, FaultOutcome::recovered_correct);
-              continue;
-            }
-            if (dir == sim::Direction::ccw) {
-              // Algorithm 1 never reads the CCW direction: an inserted
-              // pulse is delivered, never consumed, and quarantined.
-              ASSERT_EQ(kind, FaultKind::spurious)
-                  << "CCW channels carry no pulses to drop or duplicate";
-              EXPECT_EQ(result.outcome, FaultOutcome::recovered_correct)
-                  << "n=" << n << " at=" << at << " c=" << c;
-              EXPECT_FALSE(result.report.quiescent);  // quarantined leftover
-            } else if (kind == FaultKind::drop) {
-              // One pulse too few: the ring settles, but the counting
-              // argument (Corollary 13) is broken for good.
-              EXPECT_EQ(result.outcome, FaultOutcome::stalled)
-                  << "n=" << n << " at=" << at << " c=" << c;
-            } else {
-              // One pulse too many: no node will ever absorb it, so it
-              // circulates forever and keeps revoking leaders.
-              EXPECT_EQ(result.outcome, FaultOutcome::diverged)
-                  << "n=" << n << " at=" << at << " c=" << c
-                  << " kind=" << to_string(kind);
-            }
-          }
+      const std::size_t channels = probe.channel_count();
+      // Each (at, channel, kind) cell is an independent run: fan the grid
+      // out on the work pool, collect into per-index slots, classify here.
+      const std::size_t grid =
+          static_cast<std::size_t>(horizon + 1) * channels * kinds.size();
+      std::vector<SingleFaultResult> slots(grid);
+      sim::parallel_for(grid, sim::default_workers(), [&](std::size_t i) {
+        const auto at =
+            static_cast<std::uint64_t>(i / (channels * kinds.size()));
+        const std::size_t c = (i / kinds.size()) % channels;
+        slots[i] = run_single_fault(build, make_scheduler,
+                                    kinds[i % kinds.size()], at, c, {},
+                                    correct);
+      });
+      for (std::size_t i = 0; i < grid; ++i) {
+        const auto at =
+            static_cast<std::uint64_t>(i / (channels * kinds.size()));
+        const std::size_t c = (i / kinds.size()) % channels;
+        const FaultKind kind = kinds[i % kinds.size()];
+        const sim::Direction dir = probe.channel_direction(c);
+        const auto& result = slots[i];
+        if (!result.applied) {
+          // The fault found no payload to act on (e.g. a drop on an
+          // empty channel): the run is the fault-free one.
+          EXPECT_EQ(result.outcome, FaultOutcome::recovered_correct);
+          continue;
+        }
+        if (dir == sim::Direction::ccw) {
+          // Algorithm 1 never reads the CCW direction: an inserted
+          // pulse is delivered, never consumed, and quarantined.
+          ASSERT_EQ(kind, FaultKind::spurious)
+              << "CCW channels carry no pulses to drop or duplicate";
+          EXPECT_EQ(result.outcome, FaultOutcome::recovered_correct)
+              << "n=" << n << " at=" << at << " c=" << c;
+          EXPECT_FALSE(result.report.quiescent);  // quarantined leftover
+        } else if (kind == FaultKind::drop) {
+          // One pulse too few: the ring settles, but the counting
+          // argument (Corollary 13) is broken for good.
+          EXPECT_EQ(result.outcome, FaultOutcome::stalled)
+              << "n=" << n << " at=" << at << " c=" << c;
+        } else {
+          // One pulse too many: no node will ever absorb it, so it
+          // circulates forever and keeps revoking leaders.
+          EXPECT_EQ(result.outcome, FaultOutcome::diverged)
+              << "n=" << n << " at=" << at << " c=" << c
+              << " kind=" << to_string(kind);
         }
       }
     }
@@ -353,26 +371,39 @@ TEST(FaultSweepReplicated, R1SurvivesAnySingleInsertionExhaustively) {
     for (const auto& make_scheduler : sweep_schedulers()) {
       const std::uint64_t horizon = fault_free_events(build, make_scheduler);
       auto probe = replicated_alg1_net(ids, 1);
-      for (std::uint64_t at = 0; at <= horizon; ++at) {
-        for (std::size_t c = 0; c < probe.channel_count(); ++c) {
-          for (const FaultKind kind : insertions) {
-            const auto result = run_single_fault(build, make_scheduler, kind,
-                                                 at, c, {}, correct);
-            if (!result.applied) continue;
-            // r = 1 masks any single stray pulse, anywhere, at any time
-            // (§1.1: groups of r+1 arrivals re-synchronize the stream).
-            EXPECT_EQ(result.outcome, FaultOutcome::recovered_correct)
-                << "n=" << n << " at=" << at << " c=" << c
-                << " kind=" << to_string(kind)
-                << " diag=" << result.diagnosis;
-          }
+      const std::size_t channels = probe.channel_count();
+      // Per cell: the two insertion kinds plus the contrasting drop.
+      const std::size_t per_cell = insertions.size() + 1;
+      const std::size_t grid =
+          static_cast<std::size_t>(horizon + 1) * channels * per_cell;
+      std::vector<SingleFaultResult> slots(grid);
+      sim::parallel_for(grid, sim::default_workers(), [&](std::size_t i) {
+        const auto at =
+            static_cast<std::uint64_t>(i / (channels * per_cell));
+        const std::size_t c = (i / per_cell) % channels;
+        const std::size_t k = i % per_cell;
+        const FaultKind kind =
+            k < insertions.size() ? insertions[k] : FaultKind::drop;
+        slots[i] =
+            run_single_fault(build, make_scheduler, kind, at, c, {}, correct);
+      });
+      for (std::size_t i = 0; i < grid; ++i) {
+        const auto at =
+            static_cast<std::uint64_t>(i / (channels * per_cell));
+        const std::size_t c = (i / per_cell) % channels;
+        const std::size_t k = i % per_cell;
+        const auto& result = slots[i];
+        if (!result.applied) continue;
+        if (k < insertions.size()) {
+          // r = 1 masks any single stray pulse, anywhere, at any time
+          // (§1.1: groups of r+1 arrivals re-synchronize the stream).
+          EXPECT_EQ(result.outcome, FaultOutcome::recovered_correct)
+              << "n=" << n << " at=" << at << " c=" << c
+              << " kind=" << to_string(insertions[k])
+              << " diag=" << result.diagnosis;
+        } else if (result.outcome != FaultOutcome::recovered_correct) {
           // Contrast: §1.1 tolerates stray *insertions*, not loss.
-          const auto dropped = run_single_fault(
-              build, make_scheduler, FaultKind::drop, at, c, {}, correct);
-          if (dropped.applied &&
-              dropped.outcome != FaultOutcome::recovered_correct) {
-            drop_broke_something = true;
-          }
+          drop_broke_something = true;
         }
       }
     }
@@ -395,17 +426,23 @@ TEST(FaultSweepAlg2, SingleDropStallsOrMiselectsExhaustively) {
     for (const auto& make_scheduler : sweep_schedulers()) {
       const std::uint64_t horizon = fault_free_events(build, make_scheduler);
       auto probe = alg2_net(ids);
-      for (std::uint64_t at = 0; at <= horizon; ++at) {
-        for (std::size_t c = 0; c < probe.channel_count(); ++c) {
-          const auto result = run_single_fault(
-              build, make_scheduler, FaultKind::drop, at, c, safety, correct);
-          if (!result.applied) continue;
-          // Theorem 1's exact-count argument has no slack: a single lost
-          // pulse is never recovered from.
-          EXPECT_NE(result.outcome, FaultOutcome::recovered_correct)
-              << "n=" << n << " at=" << at << " c=" << c;
-          ++outcomes[result.outcome];
-        }
+      const std::size_t channels = probe.channel_count();
+      const std::size_t grid =
+          static_cast<std::size_t>(horizon + 1) * channels;
+      std::vector<SingleFaultResult> slots(grid);
+      sim::parallel_for(grid, sim::default_workers(), [&](std::size_t i) {
+        const auto at = static_cast<std::uint64_t>(i / channels);
+        slots[i] = run_single_fault(build, make_scheduler, FaultKind::drop,
+                                    at, i % channels, safety, correct);
+      });
+      for (std::size_t i = 0; i < grid; ++i) {
+        const auto& result = slots[i];
+        if (!result.applied) continue;
+        // Theorem 1's exact-count argument has no slack: a single lost
+        // pulse is never recovered from.
+        EXPECT_NE(result.outcome, FaultOutcome::recovered_correct)
+            << "n=" << n << " at=" << i / channels << " c=" << i % channels;
+        ++outcomes[result.outcome];
       }
     }
   }

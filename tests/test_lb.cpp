@@ -179,6 +179,9 @@ class BrokenOblivious final : public sim::PulseAutomaton {
     }
   }
   bool terminated() const override { return done_; }
+  std::unique_ptr<sim::PulseAutomaton> clone() const override {
+    return std::make_unique<BrokenOblivious>(*this);
+  }
   bool claims_leadership() const { return claims_leadership_; }
 
  private:

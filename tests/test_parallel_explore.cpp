@@ -1,0 +1,144 @@
+// Determinism of the parallel explorer (sim/parallel.hpp): stats and
+// aggregated leaf outcomes must be a pure function of the configuration,
+// independent of the worker count — 1, 2, and 8 workers bit-identical.
+// ci.sh runs this test under TSan, which checks the other half of the
+// contract: no data races while the subtrees run concurrently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "co/alg2.hpp"
+#include "co/election.hpp"
+#include "sim/explore.hpp"
+#include "sim/network.hpp"
+#include "sim/parallel.hpp"
+
+namespace colex::co {
+namespace {
+
+using Leaves = std::vector<std::string>;
+
+std::function<sim::PulseNetwork()> alg2_ring(
+    const std::vector<std::uint64_t>& ids) {
+  return [ids] {
+    auto net = sim::PulseNetwork::ring(ids.size());
+    for (sim::NodeId v = 0; v < ids.size(); ++v) {
+      net.set_automaton(v, std::make_unique<Alg2Terminating>(ids[v]));
+    }
+    return net;
+  };
+}
+
+std::string leaf_signature(sim::PulseNetwork& net) {
+  std::ostringstream os;
+  os << net.total_sent();
+  for (sim::NodeId v = 0; v < net.size(); ++v) {
+    os << '|' << to_string(net.automaton_as<Alg2Terminating>(v).role());
+  }
+  return os.str();
+}
+
+// NOTE: gtest assertions are not thread-safe, so the on_leaf callback only
+// appends to its own Acc; all assertions happen on the main thread.
+struct ParallelRun {
+  sim::ExploreStats stats;
+  Leaves leaves;
+};
+
+ParallelRun run_parallel(const std::function<sim::PulseNetwork()>& build,
+                         std::uint64_t budget, std::size_t workers,
+                         std::size_t min_subtrees) {
+  ParallelRun run;
+  sim::ParallelExploreOptions options;
+  options.budget = budget;
+  options.workers = workers;
+  options.min_subtrees = min_subtrees;
+  run.stats = sim::parallel_explore_all_schedules<Leaves>(
+      build,
+      [](Leaves& acc, sim::PulseNetwork& net) {
+        acc.push_back(leaf_signature(net));
+      },
+      [](Leaves& into, const Leaves& from) {
+        into.insert(into.end(), from.begin(), from.end());
+      },
+      run.leaves, options);
+  return run;
+}
+
+TEST(ParallelExplore, WorkerCountDoesNotChangeTheResult) {
+  const auto build = alg2_ring({2, 3, 1});
+  const auto reference = run_parallel(build, 4'000'000, 1, 16);
+  EXPECT_TRUE(reference.stats.exhaustive());
+  EXPECT_GT(reference.stats.leaves, 1u);
+  for (const std::size_t workers : {2u, 8u}) {
+    const auto run = run_parallel(build, 4'000'000, workers, 16);
+    EXPECT_EQ(run.stats, reference.stats) << workers << " workers";
+    EXPECT_EQ(run.leaves, reference.leaves) << workers << " workers";
+  }
+}
+
+TEST(ParallelExplore, TruncatedRunsAreStillWorkerCountDeterministic) {
+  // Budget far below the tree size: the per-subtree quota split must make
+  // even the truncation pattern independent of the worker count.
+  const auto build = alg2_ring({2, 3, 1});
+  const auto reference = run_parallel(build, 2'000, 1, 16);
+  EXPECT_GT(reference.stats.truncated, 0u);
+  for (const std::size_t workers : {2u, 8u}) {
+    const auto run = run_parallel(build, 2'000, workers, 16);
+    EXPECT_EQ(run.stats, reference.stats) << workers << " workers";
+    EXPECT_EQ(run.leaves, reference.leaves) << workers << " workers";
+  }
+}
+
+TEST(ParallelExplore, MatchesTheSequentialEngineLeafForLeaf) {
+  // Leaf *order* differs (BFS prefix + per-subtree DFS vs pure DFS), but an
+  // exhaustive run must visit exactly the same set of terminal states.
+  const auto build = alg2_ring({1, 2});
+  Leaves sequential;
+  const auto seq_stats = sim::explore_all_schedules(
+      build,
+      [&sequential](sim::PulseNetwork& net) {
+        sequential.push_back(leaf_signature(net));
+      },
+      2'000'000);
+  ASSERT_TRUE(seq_stats.exhaustive());
+
+  auto parallel = run_parallel(build, 2'000'000, 8, 16);
+  ASSERT_TRUE(parallel.stats.exhaustive());
+  EXPECT_EQ(parallel.stats.leaves, seq_stats.leaves);
+  EXPECT_EQ(parallel.stats.max_depth, seq_stats.max_depth);
+
+  std::sort(sequential.begin(), sequential.end());
+  std::sort(parallel.leaves.begin(), parallel.leaves.end());
+  EXPECT_EQ(parallel.leaves, sequential);
+}
+
+TEST(ParallelExplore, SmallTreeFitsEntirelyIntoTheFrontierExpansion) {
+  // n = 1 has a single chain of forced deliveries: the BFS expansion never
+  // reaches min_subtrees and must handle the tree draining on its own.
+  const auto build = alg2_ring({3});
+  const auto run = run_parallel(build, 100'000, 8, 64);
+  EXPECT_TRUE(run.stats.exhaustive());
+  EXPECT_EQ(run.stats.leaves, 1u);
+  ASSERT_EQ(run.leaves.size(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    std::vector<int> hits(1000, 0);
+    sim::parallel_for(hits.size(), workers,
+                      [&hits](std::size_t i) { ++hits[i]; });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }))
+        << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace colex::co

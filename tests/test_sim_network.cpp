@@ -16,6 +16,9 @@ class SendOnce final : public PulseAutomaton {
     while (ctx.recv_pulse(Port::p0)) ++received_[0];
     while (ctx.recv_pulse(Port::p1)) ++received_[1];
   }
+  std::unique_ptr<PulseAutomaton> clone() const override {
+    return std::make_unique<SendOnce>(*this);
+  }
   int received(Port p) const { return received_[index(p)]; }
 
  private:
@@ -39,6 +42,9 @@ class Relay final : public PulseAutomaton {
       }
     }
   }
+  std::unique_ptr<PulseAutomaton> clone() const override {
+    return std::make_unique<Relay>(*this);
+  }
   int consumed() const { return consumed_; }
 
  private:
@@ -51,6 +57,9 @@ class Sink final : public PulseAutomaton {
  public:
   void start(PulseContext&) override {}
   void react(PulseContext&) override {}
+  std::unique_ptr<PulseAutomaton> clone() const override {
+    return std::make_unique<Sink>(*this);
+  }
 };
 
 /// Terminates immediately after start (used to exercise the violation
@@ -60,6 +69,9 @@ class InstantTerminator final : public PulseAutomaton {
   void start(PulseContext&) override { done_ = true; }
   void react(PulseContext&) override {}
   bool terminated() const override { return done_; }
+  std::unique_ptr<PulseAutomaton> clone() const override {
+    return std::make_unique<InstantTerminator>(*this);
+  }
 
  private:
   bool done_ = false;
@@ -75,6 +87,9 @@ class Burster final : public PulseAutomaton {
   void react(PulseContext& ctx) override {
     while (ctx.recv_pulse(Port::p0)) ++received_;
     while (ctx.recv_pulse(Port::p1)) ++received_;
+  }
+  std::unique_ptr<PulseAutomaton> clone() const override {
+    return std::make_unique<Burster>(*this);
   }
   int received() const { return received_; }
 
@@ -321,6 +336,9 @@ class NumberSink final : public Automaton<NumberedMsg> {
   void react(Context<NumberedMsg>& ctx) override {
     while (auto m = ctx.recv(Port::p0)) received_.push_back(m->value);
   }
+  std::unique_ptr<Automaton<NumberedMsg>> clone() const override {
+    return std::make_unique<NumberSink>(*this);
+  }
   const std::vector<int>& received() const { return received_; }
 
  private:
@@ -336,6 +354,9 @@ class NumberSource final : public Automaton<NumberedMsg> {
   void react(Context<NumberedMsg>& ctx) override {
     while (ctx.recv(Port::p0)) {
     }
+  }
+  std::unique_ptr<Automaton<NumberedMsg>> clone() const override {
+    return std::make_unique<NumberSource>(*this);
   }
 
  private:
