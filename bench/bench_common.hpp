@@ -12,6 +12,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -99,6 +101,16 @@ class Json {
   }
   static Json of(const char* v) { return of(std::string(v)); }
 
+  /// Pre-serialized JSON spliced in verbatim (single line, no re-indent).
+  /// This is how an obs::Registry snapshot — already JSON text — lands
+  /// inside a report without bench_common depending on the obs layer.
+  static Json raw(std::string json_text) {
+    Json j;
+    j.kind_ = Kind::raw;
+    j.scalar_ = std::move(json_text);
+    return j;
+  }
+
   /// Object member (insertion-ordered; an existing key is overwritten).
   template <typename T>
   Json& set(const std::string& key, T&& value) {
@@ -131,6 +143,7 @@ class Json {
         break;
       case Kind::boolean:
       case Kind::number:
+      case Kind::raw:
         os << scalar_;
         break;
       case Kind::string:
@@ -170,7 +183,7 @@ class Json {
   }
 
  private:
-  enum class Kind { null, boolean, number, string, object, array };
+  enum class Kind { null, boolean, number, string, object, array, raw };
 
   template <typename T>
   static Json wrap(T&& value) {
@@ -220,6 +233,17 @@ class JsonReport {
 
   Json& root() { return root_; }
 
+  /// Directs the artifact into `dir` instead of the current working
+  /// directory. An explicit directory (the `--json <dir>` flag) wins over
+  /// the COLEX_BENCH_JSON_DIR environment variable, which wins over cwd.
+  void set_output_dir(std::string dir) { output_dir_ = std::move(dir); }
+
+  /// Embeds a pre-serialized metrics snapshot (an obs::Registry::to_json()
+  /// string) under the report's "metrics" key.
+  void embed_metrics(const std::string& metrics_json) {
+    root_.set_json("metrics", Json::raw(metrics_json));
+  }
+
   /// Appends one measurement row to the report's "results" array.
   void add_result(Json row) {
     if (!has_results_) {
@@ -237,7 +261,12 @@ class JsonReport {
       for (auto& r : results_) arr.push(std::move(r));
       root_.set_json("results", std::move(arr));
     }
-    const std::string path = "BENCH_" + id_ + ".json";
+    std::string dir = output_dir_;
+    if (dir.empty()) {
+      if (const char* env = std::getenv("COLEX_BENCH_JSON_DIR")) dir = env;
+    }
+    std::string path = "BENCH_" + id_ + ".json";
+    if (!dir.empty()) path = dir + "/" + path;
     std::ofstream out(path);
     root_.dump(out);
     out << "\n";
@@ -247,9 +276,22 @@ class JsonReport {
 
  private:
   std::string id_;
+  std::string output_dir_;
   Json root_;
   bool has_results_ = false;
   std::vector<Json> results_;
 };
+
+/// Applies the shared bench flags to a report: `--json <dir>` redirects the
+/// BENCH_<ID>.json artifact. Unrecognized arguments are left for the bench's
+/// own parsing (e.g. --smoke).
+inline void apply_json_flag(JsonReport& report, int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      report.set_output_dir(argv[i + 1]);
+      return;
+    }
+  }
+}
 
 }  // namespace colex::bench

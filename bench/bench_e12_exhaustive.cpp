@@ -22,6 +22,7 @@
 #include "co/alg2.hpp"
 #include "co/alg3.hpp"
 #include "co/election.hpp"
+#include "obs/instrument.hpp"
 #include "sim/explore.hpp"
 #include "sim/parallel.hpp"
 #include "util/table.hpp"
@@ -34,6 +35,8 @@ struct Row {
   std::string config;
   std::string engine;
   sim::ExploreStats stats;
+  sim::ExploreTelemetry telemetry;
+  std::vector<sim::WorkerStats> workers;
   std::uint64_t violations = 0;
   double seconds = 0;
 
@@ -52,6 +55,7 @@ Row timed_explore(const std::string& config,
   sim::ExploreOptions options;
   options.budget = budget;
   options.engine = engine;
+  options.telemetry = &row.telemetry;
   bench::WallTimer timer;
   row.stats = sim::explore_all_schedules(
       build,
@@ -166,7 +170,13 @@ Json row_json(const Row& row) {
       .set("exhaustive", row.stats.exhaustive())
       .set("violations", row.violations)
       .set("seconds", row.seconds)
-      .set("schedules_per_second", row.schedules_per_second());
+      .set("schedules_per_second", row.schedules_per_second())
+      // Engine-cost telemetry: clones quantify the snapshot engine's fork
+      // cost, replay_events the replay engine's re-execution cost.
+      .set("visits", row.telemetry.visits)
+      .set("clones", row.telemetry.clones)
+      .set("replays", row.telemetry.replays)
+      .set("replay_events", row.telemetry.replay_events);
   return j;
 }
 
@@ -183,6 +193,8 @@ Row explore_n4_parallel(const std::vector<std::uint64_t>& ids,
   options.budget = 600'000'000;
   options.workers = workers;
   options.min_subtrees = 256;
+  options.telemetry = &row.telemetry;
+  options.worker_stats = &row.workers;
   std::uint64_t violations = 0;
   bench::WallTimer timer;
   row.stats = sim::parallel_explore_all_schedules<std::uint64_t>(
@@ -200,7 +212,10 @@ Row explore_n4_parallel(const std::vector<std::uint64_t>& ids,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   bench::banner(
       "E12  Exhaustive schedule enumeration (bench_e12_exhaustive)",
       "the theorems hold on EVERY asynchronous delivery order, not just "
@@ -211,6 +226,10 @@ int main(int argc, char** argv) {
   bench::JsonReport report(
       "E12",
       "exhaustive adversary enumeration; snapshot vs replay engine timings");
+  bench::apply_json_flag(report, argc, argv);
+  // Cross-config registry: per-engine counters accumulate over the sweep,
+  // and the parallel run contributes per-worker utilization.
+  obs::Registry metrics;
 
   struct Config {
     std::string name;
@@ -264,6 +283,8 @@ int main(int argc, char** argv) {
                      std::to_string(rows[e].seconds),
                      std::to_string(rows[e].schedules_per_second())});
       report.add_result(row_json(rows[e]));
+      obs::publish_explore(metrics, "explore." + rows[e].engine,
+                           rows[e].stats, rows[e].telemetry);
     }
     // Both engines must see the identical tree.
     all_ok = all_ok && rows[0].stats == rows[1].stats;
@@ -287,12 +308,16 @@ int main(int argc, char** argv) {
                    std::to_string(row.seconds),
                    std::to_string(row.schedules_per_second())});
     report.add_result(row_json(row));
+    obs::publish_explore(metrics, "explore.parallel", row.stats,
+                         row.telemetry);
+    obs::publish_worker_stats(metrics, "explore.workers", row.workers);
   }
 
   table.print(std::cout);
   std::cout << "\nsnapshot speedup over replay on alg2 n=3: " << speedup_n3
             << "x\n";
   report.root().set("speedup_n3_snapshot_over_replay", speedup_n3);
+  report.embed_metrics(metrics.to_json());
   report.finish(total.seconds());
 
   if (smoke && speedup_n3 < 2.0) {

@@ -34,10 +34,11 @@ run_config build-asan asan+ubsan "" \
 
 # 3. TSan: the tests that exercise real threads (ThreadRing runtime,
 #    automaton host, the threaded fault/chaos harness, and the parallel
-#    schedule explorer).
+#    schedule explorer — including the metrics layer's per-subtree registry
+#    ownership, exercised by test_parallel_explore and test_runtime_faults).
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 run_config build-tsan tsan \
-  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore" \
+  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore|test_obs_metrics|test_obs_export" \
   -DCOLEX_TSAN=ON
 
 # 4. Bench smoke: the n=3 exhaustive sweep must finish, agree across both
@@ -45,5 +46,15 @@ run_config build-tsan tsan \
 #    (it writes BENCH_E12.json for the perf trail).
 echo "==> [bench-smoke] bench_e12_exhaustive --smoke"
 (cd build && ./bench/bench_e12_exhaustive --smoke)
+
+# 5. Observability smoke: E1 exports an instrumented trace, and the
+#    inspector must load it, audit conservation, and confirm the Theorem 1
+#    pulse bound from the recorded stream alone.
+echo "==> [obs-smoke] bench_e1_theorem1 --smoke + colex-inspect check"
+(cd build && ./bench/bench_e1_theorem1 --smoke \
+  && ./tools/colex-inspect check TRACE_E1.jsonl | tee /dev/stderr \
+     | grep -q "theorem1-bound: OK" \
+  && ./tools/colex-inspect chrome TRACE_E1.jsonl TRACE_E1.chrome.json \
+  && ./tools/colex-inspect diff TRACE_E1.jsonl TRACE_E1.jsonl >/dev/null)
 
 echo "==> all configurations green"

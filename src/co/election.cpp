@@ -57,6 +57,9 @@ ElectionResult run_oriented(const std::vector<std::uint64_t>& ids,
   result.quiescent = result.report.quiescent;
   result.all_terminated = result.report.all_terminated;
   result.pulses = result.report.sent;
+  const std::uint64_t id_max = *std::max_element(ids.begin(), ids.end());
+  result.pulse_bound =
+      id_max == 0 ? 0 : theorem1_pulses(ids.size(), id_max);
   result.nodes.reserve(ids.size());
   for (sim::NodeId v = 0; v < ids.size(); ++v) {
     const auto& alg = net.template automaton_as<Alg>(v);
@@ -108,6 +111,8 @@ OrientationResult elect_and_orient(const std::vector<std::uint64_t>& ids,
   result.quiescent = result.report.quiescent;
   result.all_terminated = result.report.all_terminated;
   result.pulses = result.report.sent;
+  const std::uint64_t id_max = *std::max_element(ids.begin(), ids.end());
+  result.pulse_bound = id_max == 0 ? 0 : prop15_pulses(ids.size(), id_max);
   result.nodes.reserve(ids.size());
   result.cw_ports.reserve(ids.size());
   for (sim::NodeId v = 0; v < ids.size(); ++v) {

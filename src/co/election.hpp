@@ -28,6 +28,11 @@ struct ElectionResult {
   bool quiescent = false;
   bool all_terminated = false;
   std::uint64_t pulses = 0;  ///< total pulses sent, network ground truth
+  /// The paper's pulse bound for this run's actual inputs: Theorem 1/2's
+  /// n(2*IDmax+1) for the oriented algorithms, Proposition 15's
+  /// n(4*IDmax-1) for the non-oriented one. 0 when no bound applies
+  /// (IDmax == 0).
+  std::uint64_t pulse_bound = 0;
   std::optional<sim::NodeId> leader;
   std::size_t leader_count = 0;
   std::vector<NodeOutcome> nodes;
@@ -35,6 +40,21 @@ struct ElectionResult {
 
   /// True iff exactly one node is Leader and all others Non-Leader.
   bool valid_election() const;
+
+  /// Slack against the paper's bound, `pulse_bound - pulses`: >= 0 means
+  /// the run respected the bound, negative quantifies the violation.
+  /// Meaningless (0) when no bound applies.
+  std::int64_t pulse_margin() const {
+    return pulse_bound == 0
+               ? 0
+               : static_cast<std::int64_t>(pulse_bound) -
+                     static_cast<std::int64_t>(pulses);
+  }
+
+  /// True iff a bound applies and the run's pulse count respects it.
+  bool within_pulse_bound() const {
+    return pulse_bound != 0 && pulses <= pulse_bound;
+  }
 };
 
 struct OrientationResult : ElectionResult {

@@ -156,10 +156,11 @@ BlockingOutcome run_alg3_blocking(NodeIo io, std::uint64_t id,
 ThreadRunResult run_on_threads(const std::vector<std::uint64_t>& ids,
                                const std::vector<bool>& port_flips,
                                ThreadAlg alg, std::uint64_t timeout_ms,
-                               ChaosScript chaos) {
+                               ChaosScript chaos, obs::Registry* metrics) {
   COLEX_EXPECTS(!ids.empty());
   const std::size_t n = ids.size();
   ThreadRing ring(n, port_flips);
+  ring.set_metrics(metrics);  // before any worker starts
 
   ThreadRunResult result;
   result.outcomes.resize(n);
@@ -215,7 +216,11 @@ ThreadRunResult run_on_threads(const std::vector<std::uint64_t>& ids,
   result.pulses = ring.total_sent();
   result.crashes = ring.crashes();
   result.recoveries = ring.recoveries();
-  if (!result.completed) result.stall_dump = ring.dump();
+  if (!result.completed) {
+    result.stall_dump = ring.dump();  // publishes metrics as a side effect
+  } else {
+    ring.publish_metrics();
+  }
   for (sim::NodeId v = 0; v < n; ++v) {
     if (result.outcomes[v].role == co::Role::leader) {
       ++result.leader_count;

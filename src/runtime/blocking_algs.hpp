@@ -76,10 +76,14 @@ using ChaosScript = std::function<void(ThreadRing&)>;
 /// that exceeds it is aborted (never hangs) and `stall_dump` is filled in.
 /// A worker whose node crash-stops parks until recover() or stop; on
 /// recovery it re-runs the algorithm from scratch with erased state.
+/// A non-null `metrics` registry enables the fabric's telemetry probes
+/// (per-node pulse counts, blocking-wait durations) and receives the
+/// published snapshot after the run; the stall post-mortem embeds it too.
 ThreadRunResult run_on_threads(const std::vector<std::uint64_t>& ids,
                                const std::vector<bool>& port_flips,
                                ThreadAlg alg,
                                std::uint64_t timeout_ms = 30'000,
-                               ChaosScript chaos = {});
+                               ChaosScript chaos = {},
+                               obs::Registry* metrics = nullptr);
 
 }  // namespace colex::rt

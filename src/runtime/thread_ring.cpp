@@ -1,5 +1,6 @@
 #include "runtime/thread_ring.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -103,12 +104,29 @@ bool ThreadRing::wait_any(sim::NodeId v) {
   // the predicate, and waiting on `crashed` alone would re-sleep through
   // the whole crash — the incarnation would never notice it died.
   const std::uint64_t e0 = node.crash_epoch.load();
+  const bool timed = metrics_ != nullptr;
+  const auto wait_start =
+      timed ? std::chrono::steady_clock::now()
+            : std::chrono::steady_clock::time_point{};
   idle_.fetch_add(1);
   node.cv.wait(lock, [&node, this, e0] {
     return node.pending[0] != 0 || node.pending[1] != 0 || stop_.load() ||
            node.crash_epoch.load() != e0;
   });
   idle_.fetch_sub(1);
+  if (timed) {
+    const auto blocked = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - wait_start)
+                             .count();
+    const auto ns = static_cast<std::uint64_t>(blocked);
+    node.wait_count.fetch_add(1);
+    node.wait_ns.fetch_add(ns);
+    // Monotonic max; only this node's worker writes, so a plain CAS loop
+    // converges immediately.
+    std::uint64_t cur = node.wait_max_ns.load();
+    while (cur < ns && !node.wait_max_ns.compare_exchange_weak(cur, ns)) {
+    }
+  }
   return node.pending[0] != 0 || node.pending[1] != 0;
 }
 
@@ -193,9 +211,59 @@ void ThreadRing::broadcast_stop() {
   }
 }
 
+void ThreadRing::record_progress_sample(double elapsed_ms) {
+  std::ostringstream os;
+  os << "t=" << static_cast<std::uint64_t>(elapsed_ms)
+     << "ms sent=" << sent_.load() << " consumed=" << consumed_.load()
+     << " idle=" << idle_.load()
+     << " awaiting-recovery=" << awaiting_recovery_.load()
+     << " finished=" << finished_.load();
+  std::lock_guard<std::mutex> lock(progress_mutex_);
+  progress_.push_back(os.str());
+  if (progress_.size() > kProgressSamples) progress_.pop_front();
+}
+
+void ThreadRing::publish_metrics() const {
+  if (metrics_ == nullptr) return;
+  obs::Registry& reg = *metrics_;
+  reg.counter("rt.sent").inc(sent_.load());
+  reg.counter("rt.consumed").inc(consumed_.load());
+  reg.counter("rt.crashes").inc(crash_count_.load());
+  reg.counter("rt.recoveries").inc(recovery_count_.load());
+  reg.counter("rt.crash_lost").inc(crash_lost_.load());
+  reg.counter("rt.injected").inc(injected_.load());
+  // Blocking-wait durations in milliseconds: bucket edges chosen for the
+  // condvar scale (sub-100µs wakeups up to watchdog-length stalls). One
+  // record per node of its mean wait — exact per-wait samples would need
+  // per-wait registry writes, which the single-writer contract forbids; the
+  // per-node counters below carry the exact totals.
+  auto& waits = reg.histogram(
+      "rt.mean_wait_ms", {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 1000.0});
+  for (sim::NodeId v = 0; v < nodes_.size(); ++v) {
+    const auto& node = nodes_[v];
+    const std::string id = std::to_string(v);
+    reg.counter("rt.node." + id + ".sent").inc(node.sent.load());
+    reg.counter("rt.node." + id + ".consumed").inc(node.consumed.load());
+    reg.counter("rt.node." + id + ".waits").inc(node.wait_count.load());
+    reg.counter("rt.node." + id + ".wait_ns").inc(node.wait_ns.load());
+    reg.gauge("rt.node." + id + ".wait_max_ms")
+        .track_max(static_cast<double>(node.wait_max_ns.load()) / 1e6);
+    const std::uint64_t count = node.wait_count.load();
+    if (count > 0) {
+      waits.record(static_cast<double>(node.wait_ns.load()) / 1e6 /
+                   static_cast<double>(count));
+    }
+  }
+}
+
 bool ThreadRing::monitor(std::uint64_t timeout_ms) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
+  const auto started = std::chrono::steady_clock::now();
+  const auto deadline = started + std::chrono::milliseconds(timeout_ms);
+  // Progress history cadence: cover the whole timeout with kProgressSamples
+  // samples, but never sample slower than every 50ms on short runs.
+  const auto sample_every = std::chrono::milliseconds(
+      std::max<std::uint64_t>(timeout_ms / kProgressSamples, 50));
+  auto next_sample = started;
   const std::size_t n = nodes_.size();
   auto accounted = [this] {
     // Every worker is either blocked on an empty port, parked waiting for
@@ -213,6 +281,12 @@ bool ThreadRing::monitor(std::uint64_t timeout_ms) {
            all_epochs_acked();
   };
   for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= next_sample) {
+      record_progress_sample(
+          std::chrono::duration<double, std::milli>(now - started).count());
+      next_sample = now + sample_every;
+    }
     if (finished_.load() == n) return true;  // natural termination
     if (quiescent()) {
       // Double-scan: re-observe after a pause to ride out races between a
@@ -254,6 +328,17 @@ std::string ThreadRing::dump() const {
        << (node.crashed.load() ? " CRASHED" : "")
        << " epoch=" << node.crash_epoch.load()
        << " acked=" << node.acked_epoch.load() << "\n";
+  }
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    if (!progress_.empty()) {
+      os << "  progress history (last " << progress_.size() << " samples):\n";
+      for (const auto& sample : progress_) os << "    " << sample << "\n";
+    }
+  }
+  if (metrics_ != nullptr) {
+    publish_metrics();
+    os << "  metrics: " << metrics_->to_json() << "\n";
   }
   return os.str();
 }

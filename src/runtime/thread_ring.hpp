@@ -36,10 +36,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/types.hpp"
 #include "util/contracts.hpp"
 
@@ -149,10 +151,31 @@ class ThreadRing {
   std::uint64_t crash_lost() const { return crash_lost_.load(); }
   std::uint64_t injected() const { return injected_.load(); }
 
+  // --- Telemetry (src/obs) ----------------------------------------------
+  //
+  // The fabric's metrics are plain per-node atomics written only by their
+  // owning worker (wait durations) or under the port mutex (traffic), so
+  // attaching a registry adds two clock reads per blocking wait and nothing
+  // else. The registry itself is single-threaded: it is only written by
+  // publish_metrics(), called from the harness thread after (or instead of)
+  // the workers, never concurrently with them.
+
+  /// Attach a caller-owned metrics registry. Must be called before worker
+  /// threads start; a null registry (the default) disables the wait-timing
+  /// probes entirely.
+  void set_metrics(obs::Registry* registry) { metrics_ = registry; }
+
+  /// Publishes per-node pulse counts, blocking-wait durations, and the
+  /// global fabric counters into the attached registry. Harness-side: call
+  /// after monitor() returns (the watchdog path calls it from dump()).
+  void publish_metrics() const;
+
   /// Human-readable post-mortem of the fabric: global counters plus, per
   /// node, the pending pulses on each port, per-node sent/consumed, and
-  /// the crash state. Safe to call at any time; intended for the watchdog
-  /// path (monitor() returned false).
+  /// the crash state — and, when a metrics registry is attached, the
+  /// last-N progress samples the monitor recorded plus the full metrics
+  /// snapshot. Safe to call at any time; intended for the watchdog path
+  /// (monitor() returned false).
   std::string dump() const;
 
  private:
@@ -179,6 +202,11 @@ class ThreadRing {
     // Per-node traffic counters (for the watchdog dump).
     std::atomic<std::uint64_t> sent{0};
     std::atomic<std::uint64_t> consumed{0};
+    // Blocking-wait probes (only written when a metrics registry is
+    // attached; owned by the node's worker thread, read by the harness).
+    std::atomic<std::uint64_t> wait_count{0};
+    std::atomic<std::uint64_t> wait_ns{0};
+    std::atomic<std::uint64_t> wait_max_ns{0};
   };
 
   bool recv(sim::NodeId v, sim::Port p);
@@ -189,7 +217,17 @@ class ThreadRing {
   void ack_epoch(sim::NodeId v, std::uint64_t epoch);
   bool all_epochs_acked() const;
 
+  /// Appends one progress sample (called by the monitor loop) to the
+  /// bounded history reported on stall.
+  void record_progress_sample(double elapsed_ms);
+
   std::vector<Node> nodes_;
+  obs::Registry* metrics_ = nullptr;
+  // Last-N progress snapshots from the monitor loop, for the stall
+  // post-mortem: "was the run dead all along or did it die at t=X?".
+  static constexpr std::size_t kProgressSamples = 16;
+  mutable std::mutex progress_mutex_;
+  std::deque<std::string> progress_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> consumed_{0};
   std::atomic<std::size_t> idle_{0};

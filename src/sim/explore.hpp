@@ -23,6 +23,7 @@
 // For multi-threaded exploration of the same tree see sim/parallel.hpp.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -42,6 +43,34 @@ struct ExploreStats {
   friend bool operator==(const ExploreStats&, const ExploreStats&) = default;
 };
 
+/// Telemetry an exploration optionally emits (ExploreOptions::telemetry).
+/// Plain data, deliberately obs-agnostic: obs/instrument.hpp knows how to
+/// publish it into a metrics registry; a null pointer costs the engines one
+/// branch per tree node (the zero-overhead-when-disabled contract).
+struct ExploreTelemetry {
+  std::uint64_t visits = 0;   ///< tree nodes materialized (budget units)
+  std::uint64_t clones = 0;   ///< Network::clone forks taken (snapshot)
+  std::uint64_t replays = 0;  ///< full prefix re-runs (replay engine)
+  std::uint64_t replay_events = 0;  ///< deliveries replayed across prefixes
+  double seconds = 0;               ///< wall time of the exploration
+  /// Subtree roots handed to the pool by the parallel explorer (its queue
+  /// depth when the breadth-first expansion stopped); 0 for sequential runs.
+  std::uint64_t frontier_subtrees = 0;
+
+  double schedules_per_second(const ExploreStats& stats) const {
+    return seconds > 0 ? static_cast<double>(stats.leaves) / seconds : 0.0;
+  }
+
+  void merge(const ExploreTelemetry& other) {
+    visits += other.visits;
+    clones += other.clones;
+    replays += other.replays;
+    replay_events += other.replay_events;
+    // seconds/frontier are owned by the coordinating caller, not summed:
+    // per-worker wall clocks overlap.
+  }
+};
+
 enum class ExploreEngine {
   snapshot,  ///< fork the frontier state per branch (fast path)
   replay,    ///< re-run the schedule prefix per tree node (legacy baseline)
@@ -56,6 +85,9 @@ struct ExploreOptions {
   /// truncated. (For the replay engine a node visit is one full replay.)
   std::uint64_t budget = 1'000'000;
   ExploreEngine engine = ExploreEngine::snapshot;
+  /// Optional telemetry sink; null (the default) keeps the engines on the
+  /// uninstrumented fast path.
+  ExploreTelemetry* telemetry = nullptr;
 };
 
 namespace detail {
@@ -65,12 +97,14 @@ namespace detail {
 /// place. `depth` is the number of deliveries that produced `net`.
 inline void snapshot_explore(
     PulseNetwork& net, std::uint64_t depth, std::uint64_t& budget,
-    ExploreStats& stats, const std::function<void(PulseNetwork&)>& on_leaf) {
+    ExploreStats& stats, const std::function<void(PulseNetwork&)>& on_leaf,
+    ExploreTelemetry* telemetry = nullptr) {
   if (budget == 0) {
     ++stats.truncated;
     return;
   }
   --budget;
+  if (telemetry) ++telemetry->visits;
   const auto pending = net.pending_channels();
   if (pending.empty()) {
     ++stats.leaves;
@@ -80,12 +114,13 @@ inline void snapshot_explore(
   }
   for (std::size_t i = 0; i + 1 < pending.size(); ++i) {
     auto fork = net.clone();
+    if (telemetry) ++telemetry->clones;
     fork.deliver_step(pending[i]);
-    snapshot_explore(fork, depth + 1, budget, stats, on_leaf);
+    snapshot_explore(fork, depth + 1, budget, stats, on_leaf, telemetry);
     if (budget == 0) return;
   }
   net.deliver_step(pending.back());
-  snapshot_explore(net, depth + 1, budget, stats, on_leaf);
+  snapshot_explore(net, depth + 1, budget, stats, on_leaf, telemetry);
 }
 
 }  // namespace detail
@@ -99,11 +134,22 @@ inline ExploreStats explore_all_schedules(
   COLEX_EXPECTS(options.budget > 0);
   ExploreStats stats;
   std::uint64_t budget = options.budget;
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto stamp_seconds = [&] {
+    if (options.telemetry) {
+      options.telemetry->seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+    }
+  };
 
   if (options.engine == ExploreEngine::snapshot) {
     auto net = build();
     net.start_all();
-    detail::snapshot_explore(net, 0, budget, stats, on_leaf);
+    detail::snapshot_explore(net, 0, budget, stats, on_leaf,
+                             options.telemetry);
+    stamp_seconds();
     return stats;
   }
 
@@ -116,6 +162,11 @@ inline ExploreStats explore_all_schedules(
       return;
     }
     --budget;
+    if (options.telemetry) {
+      ++options.telemetry->visits;
+      ++options.telemetry->replays;
+      options.telemetry->replay_events += prefix.size();
+    }
     auto net = build();
     ReplayScheduler replay(prefix);
     RunOptions opts;
@@ -143,6 +194,7 @@ inline ExploreStats explore_all_schedules(
     }
   };
   recurse();
+  stamp_seconds();
   return stats;
 }
 

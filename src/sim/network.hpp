@@ -234,6 +234,30 @@ class Network {
 
   std::uint64_t total_sent() const { return total_sent_; }
 
+  std::uint64_t total_delivered() const { return total_delivered_; }
+
+  std::uint64_t total_consumed() const { return total_consumed_; }
+
+  /// One coherent snapshot of every cumulative counter the network keeps —
+  /// the per-step observable the observability layer (src/obs) samples.
+  struct Counters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t crash_lost = 0;
+  };
+
+  Counters counters() const {
+    return Counters{total_sent_, total_delivered_, total_consumed_,
+                    injected_,   dropped_,         duplicated_,
+                    crashes_,    recoveries_,      crash_lost_};
+  }
+
   /// Payloads sent but not yet consumed by the destination algorithm;
   /// includes delivered-but-queued payloads (paper footnote 2).
   std::uint64_t in_transit() const { return total_sent_ - total_consumed_; }
@@ -466,6 +490,23 @@ class Network {
   void set_send_observer(
       std::function<void(NodeId, Port, Direction)> observer) {
     send_observer_ = std::move(observer);
+  }
+
+  /// Like set_send_observer, but preserves and chains a previously installed
+  /// observer (new observer first). Lets tracing and metrics instrumentation
+  /// coexist on one run without knowing about each other.
+  void chain_send_observer(
+      std::function<void(NodeId, Port, Direction)> observer) {
+    if (!send_observer_) {
+      send_observer_ = std::move(observer);
+      return;
+    }
+    send_observer_ = [added = std::move(observer),
+                      previous = std::move(send_observer_)](
+                         NodeId v, Port p, Direction d) {
+      added(v, p, d);
+      previous(v, p, d);
+    };
   }
 
   // --- used by Context ----------------------------------------------------

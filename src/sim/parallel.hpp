@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -63,6 +64,59 @@ inline void parallel_for(std::size_t count, std::size_t workers,
   for (auto& th : pool) th.join();
 }
 
+/// Per-worker utilization telemetry for an instrumented parallel_for run.
+/// Worker 0 is the calling thread. NOTE: unlike everything else in this
+/// header, these numbers are inherently worker-count *dependent* — they
+/// describe the machine, not the computation — so they live strictly on the
+/// observability side and never feed back into results.
+struct WorkerStats {
+  std::uint64_t tasks = 0;      ///< task indices this worker claimed
+  double busy_seconds = 0.0;    ///< wall time spent inside fn
+};
+
+/// parallel_for variant that reports which worker ran each task and how
+/// long each worker stayed busy. `fn(worker, task)`; the returned vector
+/// has one entry per worker slot (min(workers, count), at least 1). Each
+/// worker writes only its own slot, so the collection is race-free.
+inline std::vector<WorkerStats> parallel_for_instrumented(
+    std::size_t count, std::size_t workers,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t slots =
+      count == 0 ? 1 : std::min(workers <= 1 ? 1 : workers, count);
+  std::vector<WorkerStats> stats(slots);
+  if (slots <= 1) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    stats[0].tasks = count;
+    stats[0].busy_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return stats;
+  }
+  std::atomic<std::size_t> cursor{0};
+  auto drain = [&cursor, count, &fn, &stats](std::size_t worker) {
+    WorkerStats& mine = stats[worker];
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      const auto t0 = std::chrono::steady_clock::now();
+      fn(worker, i);
+      mine.busy_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      ++mine.tasks;
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(slots - 1);
+  for (std::size_t t = 1; t < slots; ++t) {
+    pool.emplace_back(drain, t);
+  }
+  drain(0);  // the calling thread works too
+  for (auto& th : pool) th.join();
+  return stats;
+}
+
 struct ParallelExploreOptions {
   /// Caps tree nodes visited, split deterministically across subtrees (the
   /// frontier split below), so truncation does not depend on worker count.
@@ -73,6 +127,14 @@ struct ParallelExploreOptions {
   /// subtrees out to the pool. More subtrees = better load balancing at the
   /// price of a longer sequential prefix.
   std::size_t min_subtrees = 64;
+  /// Optional telemetry sink (visits/clones summed across subtrees, wall
+  /// seconds, frontier depth); null keeps the uninstrumented fast path.
+  ExploreTelemetry* telemetry = nullptr;
+  /// Optional per-worker utilization sink. When set, subtrees are dispatched
+  /// through parallel_for_instrumented and the vector is replaced with one
+  /// WorkerStats per worker slot. Purely observational — results remain
+  /// worker-count oblivious either way.
+  std::vector<WorkerStats>* worker_stats = nullptr;
 };
 
 /// Parallel exhaustive exploration with deterministic aggregation. Each
@@ -95,6 +157,15 @@ ExploreStats parallel_explore_all_schedules(
   COLEX_EXPECTS(options.budget > 0);
   ExploreStats stats;
   std::uint64_t budget = options.budget;
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto stamp_seconds = [&] {
+    if (options.telemetry) {
+      options.telemetry->seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+    }
+  };
 
   struct Frontier {
     PulseNetwork net;
@@ -115,6 +186,7 @@ ExploreStats parallel_explore_all_schedules(
     Frontier f = std::move(queue.front());
     queue.pop_front();
     --budget;
+    if (options.telemetry) ++options.telemetry->visits;
     const auto pending = f.net.pending_channels();
     if (pending.empty()) {
       ++stats.leaves;
@@ -125,6 +197,7 @@ ExploreStats parallel_explore_all_schedules(
     for (std::size_t i = 0; i + 1 < pending.size(); ++i) {
       Frontier child;
       child.net = f.net.clone();
+      if (options.telemetry) ++options.telemetry->clones;
       child.net.deliver_step(pending[i]);
       child.depth = f.depth + 1;
       queue.push_back(std::move(child));
@@ -133,11 +206,17 @@ ExploreStats parallel_explore_all_schedules(
     ++f.depth;
     queue.push_back(std::move(f));
   }
-  if (queue.empty()) return stats;  // whole tree fit into the expansion
+  if (queue.empty()) {
+    stamp_seconds();
+    return stats;  // whole tree fit into the expansion
+  }
 
   // Deterministic budget split: subtree i gets an equal share, the first
   // (budget mod subtrees) subtrees one unit more. Independent of workers.
   const std::size_t subtrees = queue.size();
+  if (options.telemetry) {
+    options.telemetry->frontier_subtrees = subtrees;
+  }
   std::vector<Frontier> roots(std::make_move_iterator(queue.begin()),
                               std::make_move_iterator(queue.end()));
   std::vector<std::uint64_t> quota(subtrees, budget / subtrees);
@@ -145,20 +224,34 @@ ExploreStats parallel_explore_all_schedules(
 
   std::vector<ExploreStats> sub_stats(subtrees);
   std::vector<Acc> sub_acc(subtrees, acc);
-  parallel_for(subtrees, options.workers, [&](std::size_t i) {
+  // Per-subtree telemetry: each worker writes only its own subtree's slot
+  // (same ownership discipline as sub_acc), merged sequentially after join.
+  std::vector<ExploreTelemetry> sub_telemetry(
+      options.telemetry ? subtrees : 0);
+  auto explore_subtree = [&](std::size_t i) {
     Acc& local = sub_acc[i];
     const std::function<void(PulseNetwork&)> leaf =
         [&local, &on_leaf](PulseNetwork& net) { on_leaf(local, net); };
     detail::snapshot_explore(roots[i].net, roots[i].depth, quota[i],
-                             sub_stats[i], leaf);
-  });
+                             sub_stats[i], leaf,
+                             options.telemetry ? &sub_telemetry[i] : nullptr);
+  };
+  if (options.worker_stats) {
+    *options.worker_stats = parallel_for_instrumented(
+        subtrees, options.workers,
+        [&](std::size_t, std::size_t i) { explore_subtree(i); });
+  } else {
+    parallel_for(subtrees, options.workers, explore_subtree);
+  }
 
   for (std::size_t i = 0; i < subtrees; ++i) {
     stats.leaves += sub_stats[i].leaves;
     stats.truncated += sub_stats[i].truncated;
     stats.max_depth = std::max(stats.max_depth, sub_stats[i].max_depth);
     merge(acc, sub_acc[i]);
+    if (options.telemetry) options.telemetry->merge(sub_telemetry[i]);
   }
+  stamp_seconds();
   return stats;
 }
 

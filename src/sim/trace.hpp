@@ -7,7 +7,7 @@
 #pragma once
 
 #include <cstdint>
-#include <sstream>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -54,11 +54,30 @@ constexpr const char* to_string(TraceEvent::Kind k) {
   return "?";
 }
 
-inline std::string to_string(const TraceEvent& e) {
-  std::ostringstream os;
+/// Streams one event without materializing a std::string — the fast path
+/// for exporting large traces (obs/export.hpp writes through this).
+inline std::ostream& operator<<(std::ostream& os, const TraceEvent& e) {
   os << "#" << e.index << " " << to_string(e.kind) << " node=" << e.node
      << " port=" << sim::index(e.port) << " dir=" << to_string(e.dir);
-  return os.str();
+  return os;
+}
+
+inline std::string to_string(const TraceEvent& e) {
+  // Plain string appends instead of an ostringstream: no stream state, no
+  // per-event stringbuf allocation — one reserve covers the typical event.
+  std::string out;
+  out.reserve(48);
+  out += '#';
+  out += std::to_string(e.index);
+  out += ' ';
+  out += to_string(e.kind);
+  out += " node=";
+  out += std::to_string(e.node);
+  out += " port=";
+  out += std::to_string(sim::index(e.port));
+  out += " dir=";
+  out += to_string(e.dir);
+  return out;
 }
 
 /// Hooks into a run's options and collects the event stream.

@@ -19,6 +19,12 @@ double percentile_sorted(const std::vector<double>& sorted, double q) {
 
 Summary summarize(std::vector<double> samples) {
   Summary s;
+  // Non-finite samples (NaN, ±inf) are dropped before aggregation: one NaN
+  // would otherwise poison every derived statistic and break the sort
+  // (NaN violates strict weak ordering).
+  samples.erase(std::remove_if(samples.begin(), samples.end(),
+                               [](double v) { return !std::isfinite(v); }),
+                samples.end());
   if (samples.empty()) return s;
   std::sort(samples.begin(), samples.end());
   s.count = samples.size();

@@ -18,7 +18,8 @@ struct Summary {
 };
 
 /// Computes a full summary of `samples`. Percentiles use the nearest-rank
-/// method. An empty sample yields an all-zero summary.
+/// method. Non-finite samples (NaN, ±inf) are dropped before aggregation;
+/// an empty (or all-non-finite) sample yields an all-zero summary.
 Summary summarize(std::vector<double> samples);
 
 /// Nearest-rank percentile of a *sorted* sample; `q` in [0, 1].

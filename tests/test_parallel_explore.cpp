@@ -15,6 +15,7 @@
 
 #include "co/alg2.hpp"
 #include "co/election.hpp"
+#include "obs/metrics.hpp"
 #include "sim/explore.hpp"
 #include "sim/network.hpp"
 #include "sim/parallel.hpp"
@@ -127,6 +128,111 @@ TEST(ParallelExplore, SmallTreeFitsEntirelyIntoTheFrontierExpansion) {
   EXPECT_TRUE(run.stats.exhaustive());
   EXPECT_EQ(run.stats.leaves, 1u);
   ASSERT_EQ(run.leaves.size(), 1u);
+}
+
+TEST(ParallelExplore, TelemetryCountsAreWorkerCountDeterministic) {
+  const auto build = alg2_ring({2, 3, 1});
+  sim::ExploreTelemetry reference;
+  std::vector<sim::WorkerStats> ref_workers;
+  {
+    sim::ParallelExploreOptions options;
+    options.budget = 4'000'000;
+    options.workers = 1;
+    options.min_subtrees = 16;
+    options.telemetry = &reference;
+    options.worker_stats = &ref_workers;
+    Leaves leaves;
+    const auto stats = sim::parallel_explore_all_schedules<Leaves>(
+        build,
+        [](Leaves& acc, sim::PulseNetwork& net) {
+          acc.push_back(leaf_signature(net));
+        },
+        [](Leaves& into, const Leaves& from) {
+          into.insert(into.end(), from.begin(), from.end());
+        },
+        leaves, options);
+    ASSERT_TRUE(stats.exhaustive());
+    EXPECT_GT(reference.visits, 0u);
+    EXPECT_GT(reference.clones, 0u);
+    EXPECT_GT(reference.seconds, 0.0);
+    EXPECT_GT(reference.frontier_subtrees, 0u);
+    // Every frontier subtree becomes exactly one pool task.
+    std::uint64_t tasks = 0;
+    for (const auto& w : ref_workers) tasks += w.tasks;
+    EXPECT_EQ(tasks, reference.frontier_subtrees);
+  }
+  for (const std::size_t workers : {2u, 8u}) {
+    sim::ExploreTelemetry telemetry;
+    sim::ParallelExploreOptions options;
+    options.budget = 4'000'000;
+    options.workers = workers;
+    options.min_subtrees = 16;
+    options.telemetry = &telemetry;
+    Leaves leaves;
+    (void)sim::parallel_explore_all_schedules<Leaves>(
+        build,
+        [](Leaves& acc, sim::PulseNetwork& net) {
+          acc.push_back(leaf_signature(net));
+        },
+        [](Leaves& into, const Leaves& from) {
+          into.insert(into.end(), from.begin(), from.end());
+        },
+        leaves, options);
+    // Wall time varies; the structural counts must not.
+    EXPECT_EQ(telemetry.visits, reference.visits) << workers << " workers";
+    EXPECT_EQ(telemetry.clones, reference.clones) << workers << " workers";
+    EXPECT_EQ(telemetry.frontier_subtrees, reference.frontier_subtrees)
+        << workers << " workers";
+  }
+}
+
+// The metrics layer's concurrency contract, exercised under TSan by ci.sh:
+// one Registry per subtree, written only by the worker that owns it, merged
+// on the main thread after the join.
+TEST(ParallelExplore, PerSubtreeRegistriesMergeDeterministically) {
+  const auto build = alg2_ring({2, 3, 1});
+  auto run_with = [&build](std::size_t workers) {
+    obs::Registry merged;
+    sim::ParallelExploreOptions options;
+    options.budget = 4'000'000;
+    options.workers = workers;
+    options.min_subtrees = 16;
+    const auto stats = sim::parallel_explore_all_schedules<obs::Registry>(
+        build,
+        [](obs::Registry& acc, sim::PulseNetwork& net) {
+          acc.counter("leaves").inc();
+          acc.gauge("max_pulses")
+              .track_max(static_cast<double>(net.total_sent()));
+          acc.histogram("pulses", {10.0, 20.0, 40.0})
+              .record(static_cast<double>(net.total_sent()));
+        },
+        [](obs::Registry& into, const obs::Registry& from) {
+          into.merge(from);
+        },
+        merged, options);
+    EXPECT_TRUE(stats.exhaustive());
+    EXPECT_EQ(merged.counter("leaves").value(), stats.leaves);
+    return merged.to_json();
+  };
+  const std::string reference = run_with(1);
+  EXPECT_EQ(run_with(2), reference);
+  EXPECT_EQ(run_with(8), reference);
+}
+
+TEST(ParallelForInstrumented, CoversEveryIndexAndAccountsEveryTask) {
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    std::vector<int> hits(1000, 0);
+    const auto stats = sim::parallel_for_instrumented(
+        hits.size(), workers,
+        [&hits](std::size_t, std::size_t task) { ++hits[task]; });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }))
+        << workers << " workers";
+    EXPECT_EQ(stats.size(), std::min(workers, hits.size()));
+    std::uint64_t tasks = 0;
+    for (const auto& w : stats) tasks += w.tasks;
+    EXPECT_EQ(tasks, hits.size()) << workers << " workers";
+  }
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {

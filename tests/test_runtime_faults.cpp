@@ -251,5 +251,53 @@ TEST(ThreadRingFaults, RecoveredWorkerRerunsFromErasedState) {
   EXPECT_EQ(outs[1].role, co::Role::non_leader);
 }
 
+// --- Telemetry (obs::Registry attached to the fabric) ---------------------
+
+TEST(ThreadRingMetrics, PublishesFabricAndPerNodeCounters) {
+  obs::Registry metrics;
+  const auto result = run_on_threads(kIds, {}, ThreadAlg::alg2,
+                                     /*timeout_ms=*/30'000, {}, &metrics);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(metrics.counter("rt.sent").value(), result.pulses);
+  EXPECT_EQ(metrics.counter("rt.consumed").value(), result.pulses);
+  EXPECT_EQ(metrics.counter("rt.crashes").value(), 0u);
+  // Per-node sends partition the fabric total.
+  std::uint64_t per_node = 0;
+  for (sim::NodeId v = 0; v < kIds.size(); ++v) {
+    per_node +=
+        metrics.counter("rt.node." + std::to_string(v) + ".sent").value();
+  }
+  EXPECT_EQ(per_node, result.pulses);
+  // The wait histogram records one mean-wait sample per node that ever
+  // blocked (a node kept saturated by its neighbors may never block, so
+  // this is an upper bound, not an equality).
+  EXPECT_LE(metrics.histogram("rt.mean_wait_ms", {}).count(), kIds.size());
+}
+
+TEST(ThreadRingMetrics, DisabledByDefaultRunPublishesNothing) {
+  obs::Registry metrics;
+  const auto result = run_on_threads(kIds, {}, ThreadAlg::alg2);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(metrics.empty());
+}
+
+TEST(ThreadRingMetrics, StallDumpEmbedsProgressHistoryAndSnapshot) {
+  // Same guaranteed livelock as the watchdog tests above: a surplus pulse
+  // Algorithm 1 cannot absorb. The post-mortem must now carry the last-N
+  // progress samples and the full metrics snapshot.
+  obs::Registry metrics;
+  const auto result = run_on_threads(
+      kIds, {}, ThreadAlg::alg1, /*timeout_ms=*/400,
+      [](ThreadRing& ring) { ring.inject_pulse(0, sim::Port::p0); },
+      &metrics);
+  if (!result.completed) {
+    EXPECT_NE(result.stall_dump.find("progress history"), std::string::npos);
+    EXPECT_NE(result.stall_dump.find("t="), std::string::npos);
+    EXPECT_NE(result.stall_dump.find("metrics: {"), std::string::npos);
+    EXPECT_NE(result.stall_dump.find("rt.sent"), std::string::npos);
+    EXPECT_EQ(metrics.counter("rt.injected").value(), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace colex::rt

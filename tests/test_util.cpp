@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -134,6 +135,52 @@ TEST(Stats, KnownSample) {
   EXPECT_EQ(s.min, 1.0);
   EXPECT_EQ(s.max, 4.0);
   EXPECT_EQ(s.p50, 2.0);
+}
+
+TEST(Stats, AllEqualSampleHasZeroSpread) {
+  const Summary s = summarize({7.0, 7.0, 7.0, 7.0, 7.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+  EXPECT_EQ(s.p50, 7.0);
+  EXPECT_EQ(s.p95, 7.0);
+}
+
+TEST(Stats, NonFiniteSamplesAreDropped) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  const Summary s = summarize({1.0, nan, 3.0, inf, -inf, 2.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 3.0);
+}
+
+TEST(Stats, AllNonFiniteIsEmptySummary) {
+  const Summary s = summarize({std::nan(""), std::nan("")});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> one{42.0};
+  EXPECT_EQ(percentile_sorted(one, 0.0), 42.0);
+  EXPECT_EQ(percentile_sorted(one, 0.5), 42.0);
+  EXPECT_EQ(percentile_sorted(one, 1.0), 42.0);
+}
+
+TEST(Stats, PercentileEmptyIsZero) {
+  EXPECT_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+TEST(Stats, PercentileRejectsOutOfRangeQuantile) {
+  const std::vector<double> sorted{1.0, 2.0};
+  EXPECT_THROW(percentile_sorted(sorted, -0.1), ContractViolation);
+  EXPECT_THROW(percentile_sorted(sorted, 1.1), ContractViolation);
 }
 
 TEST(Stats, PercentileNearestRank) {
