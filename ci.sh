@@ -57,4 +57,25 @@ echo "==> [obs-smoke] bench_e1_theorem1 --smoke + colex-inspect check"
   && ./tools/colex-inspect chrome TRACE_E1.jsonl TRACE_E1.chrome.json \
   && ./tools/colex-inspect diff TRACE_E1.jsonl TRACE_E1.jsonl >/dev/null)
 
+# 6. Fuzz smoke (on the sanitized build, so every generated schedule and
+#    fault plan also runs under ASan+UBSan): a fixed-seed clean+faulty
+#    campaign must survive with no counterexample; the planted bound defect
+#    must be found, shrink to a minimal repro that replays deterministically
+#    (colex-fuzz --replay), and export a trace that still passes the REAL
+#    Theorem 1 bound in colex-inspect. The committed repro file is the
+#    regression gate: the pipeline must keep reproducing it byte-for-byte
+#    semantics forever.
+echo "==> [fuzz-smoke] colex-fuzz campaigns + replay gates"
+(cd build-asan \
+  && ./tools/colex-fuzz run --seeds 120 --fault-fraction 0.3 --json \
+  && if ./tools/colex-fuzz run --seeds 5 --algs alg2 --planted \
+         --repro-out FUZZ_PLANTED.jsonl --trace-out FUZZ_PLANTED_TRACE.jsonl \
+         > /dev/null; then
+       echo "planted campaign unexpectedly passed"; exit 1
+     fi \
+  && ./tools/colex-fuzz --replay FUZZ_PLANTED.jsonl \
+  && ./tools/colex-inspect check FUZZ_PLANTED_TRACE.jsonl | tee /dev/stderr \
+     | grep -q "theorem1-bound: OK" \
+  && ./tools/colex-fuzz --replay ../tests/data/planted_bound_repro.jsonl)
+
 echo "==> all configurations green"

@@ -1,0 +1,57 @@
+#include "qa/fuzzer.hpp"
+
+#include <utility>
+
+namespace colex::qa {
+
+CampaignReport run_campaign(
+    const CampaignOptions& options,
+    const std::function<void(std::uint64_t, const CaseResult&)>& progress) {
+  CampaignReport report;
+  std::vector<double> pulses;
+  std::vector<double> deliveries;
+  pulses.reserve(options.cases);
+  deliveries.reserve(options.cases);
+
+  for (std::size_t i = 0; i < options.cases; ++i) {
+    const std::uint64_t seed = options.seed_start + i;
+    const FuzzCase c = generate_case(seed, options.generator);
+    CaseResult result = check_case(c, options.properties);
+    ++report.cases_run;
+    if (c.clean()) {
+      ++report.clean_cases;
+    } else {
+      ++report.faulty_cases;
+    }
+    pulses.push_back(static_cast<double>(result.outcome.counters.sent));
+    deliveries.push_back(static_cast<double>(result.outcome.report.deliveries));
+    if (progress) progress(seed, result);
+
+    if (!result.passed()) {
+      Counterexample cx;
+      cx.seed = seed;
+      cx.original = c;
+      if (options.shrink) {
+        ShrinkResult shrunk =
+            shrink_case(c, result, options.properties, options.shrink_options);
+        cx.minimal = std::move(shrunk.minimal);
+        cx.result = std::move(shrunk.result);
+        cx.shrink_stats = shrunk.stats;
+      } else {
+        cx.minimal = c;
+        cx.result = std::move(result);
+      }
+      report.counterexamples.push_back(std::move(cx));
+      if (options.max_failures != 0 &&
+          report.counterexamples.size() >= options.max_failures) {
+        break;
+      }
+    }
+  }
+
+  report.pulses = util::summarize(std::move(pulses));
+  report.deliveries = util::summarize(std::move(deliveries));
+  return report;
+}
+
+}  // namespace colex::qa

@@ -1,0 +1,54 @@
+// Fuzz campaigns: generate -> check -> shrink over a contiguous block of
+// seeds, with summary statistics for reports. A campaign is a pure function
+// of its options (seeds drive everything), so a CI smoke run and a local
+// overnight run differ only in the seed count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "qa/generators.hpp"
+#include "qa/properties.hpp"
+#include "qa/shrink.hpp"
+#include "util/stats.hpp"
+
+namespace colex::qa {
+
+struct CampaignOptions {
+  std::uint64_t seed_start = 1;
+  std::size_t cases = 100;
+  GeneratorOptions generator;
+  PropertyOptions properties;
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  /// Stop the campaign after this many counterexamples (0 = never stop).
+  std::size_t max_failures = 1;
+};
+
+struct Counterexample {
+  std::uint64_t seed = 0;
+  FuzzCase original;
+  FuzzCase minimal;       ///< == original when shrinking is disabled
+  CaseResult result;      ///< check_case outcome on `minimal`
+  ShrinkStats shrink_stats;
+};
+
+struct CampaignReport {
+  std::size_t cases_run = 0;
+  std::size_t clean_cases = 0;
+  std::size_t faulty_cases = 0;
+  std::vector<Counterexample> counterexamples;
+  util::Summary pulses;      ///< pulses sent per case
+  util::Summary deliveries;  ///< deliveries per case
+
+  bool ok() const { return counterexamples.empty(); }
+};
+
+/// Runs the campaign. `progress`, if set, is invoked after every case with
+/// (seed, result) — CLI front-ends use it for live output.
+CampaignReport run_campaign(
+    const CampaignOptions& options,
+    const std::function<void(std::uint64_t, const CaseResult&)>& progress = {});
+
+}  // namespace colex::qa

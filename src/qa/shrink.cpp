@@ -1,0 +1,211 @@
+#include "qa/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace colex::qa {
+
+namespace {
+
+struct Ctx {
+  const PropertyOptions& props;
+  std::string target;
+  ShrinkOptions opts;
+  ShrinkStats stats;
+
+  bool exhausted() const { return stats.attempts >= opts.max_attempts; }
+};
+
+/// Accepts `cand` as the new current case iff the anchored property still
+/// fails on it.
+bool try_candidate(Ctx& ctx, FuzzCase cand, FuzzCase& cur,
+                   CaseResult& cur_result) {
+  if (ctx.exhausted()) return false;
+  ++ctx.stats.attempts;
+  CaseResult r = check_case(cand, ctx.props);
+  if (r.failed_property != ctx.target) return false;
+  cur = std::move(cand);
+  cur_result = std::move(r);
+  ++ctx.stats.improvements;
+  return true;
+}
+
+/// Classic ddmin over one list-valued field of the case. `rebuild(base,
+/// items)` produces the candidate carrying the reduced list.
+template <typename T, typename Rebuild>
+void ddmin_list(Ctx& ctx, FuzzCase& cur, CaseResult& cur_result,
+                std::vector<T> items, Rebuild&& rebuild) {
+  std::size_t granularity = 2;
+  while (!items.empty() && !ctx.exhausted()) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, items.size() / granularity);
+    bool reduced = false;
+    for (std::size_t start = 0; start < items.size() && !ctx.exhausted();
+         start += chunk) {
+      std::vector<T> kept;
+      kept.reserve(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i < start || i >= start + chunk) kept.push_back(items[i]);
+      }
+      if (try_candidate(ctx, rebuild(cur, kept), cur, cur_result)) {
+        items = std::move(kept);
+        granularity = granularity > 2 ? granularity - 1 : 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;
+      granularity = std::min(items.size(), granularity * 2);
+    }
+  }
+}
+
+void shrink_faults(Ctx& ctx, FuzzCase& cur, CaseResult& cur_result) {
+  if (cur.corrupt.active) {
+    FuzzCase cand = cur;
+    cand.corrupt = CorruptSpec{};
+    try_candidate(ctx, std::move(cand), cur, cur_result);
+  }
+  if (cur.faults.all_channels.active() || !cur.faults.channel_overrides.empty()) {
+    FuzzCase cand = cur;
+    cand.faults.all_channels = sim::ChannelFaultProfile{};
+    cand.faults.channel_overrides.clear();
+    try_candidate(ctx, std::move(cand), cur, cur_result);
+  }
+  ddmin_list(ctx, cur, cur_result, cur.faults.script,
+             [](const FuzzCase& base, const std::vector<sim::ScriptedFault>& kept) {
+               FuzzCase cand = base;
+               cand.faults.script = kept;
+               return cand;
+             });
+  ddmin_list(ctx, cur, cur_result, cur.faults.preseed_channels,
+             [](const FuzzCase& base,
+                const std::vector<std::pair<std::size_t, std::size_t>>& kept) {
+               FuzzCase cand = base;
+               cand.faults.preseed_channels = kept;
+               return cand;
+             });
+}
+
+void shrink_tape(Ctx& ctx, FuzzCase& cur, CaseResult& cur_result) {
+  ddmin_list(ctx, cur, cur_result, cur.tape,
+             [](const FuzzCase& base, const std::vector<std::size_t>& kept) {
+               FuzzCase cand = base;
+               cand.tape = kept;
+               return cand;
+             });
+}
+
+/// Drops node `v` from the ring, discarding fault references that fall off
+/// the smaller topology (channel ids are dense: 2 per node).
+FuzzCase without_node(const FuzzCase& base, sim::NodeId v) {
+  FuzzCase cand = base;
+  cand.ids.erase(cand.ids.begin() + static_cast<std::ptrdiff_t>(v));
+  if (!cand.port_flips.empty()) {
+    cand.port_flips.erase(cand.port_flips.begin() +
+                          static_cast<std::ptrdiff_t>(v));
+  }
+  const std::size_t channels = 2 * cand.ids.size();
+  const std::size_t nodes = cand.ids.size();
+  auto& script = cand.faults.script;
+  script.erase(std::remove_if(script.begin(), script.end(),
+                              [channels, nodes](const sim::ScriptedFault& f) {
+                                const bool node_fault =
+                                    f.kind == sim::FaultKind::crash ||
+                                    f.kind == sim::FaultKind::recover;
+                                return node_fault ? f.node >= nodes
+                                                  : f.channel >= channels;
+                              }),
+               script.end());
+  auto& preseeds = cand.faults.preseed_channels;
+  preseeds.erase(
+      std::remove_if(preseeds.begin(), preseeds.end(),
+                     [channels](const std::pair<std::size_t, std::size_t>& p) {
+                       return p.first >= channels;
+                     }),
+      preseeds.end());
+  auto& overrides = cand.faults.channel_overrides;
+  overrides.erase(std::remove_if(
+                      overrides.begin(), overrides.end(),
+                      [channels](const std::pair<std::size_t,
+                                                 sim::ChannelFaultProfile>& o) {
+                        return o.first >= channels;
+                      }),
+                  overrides.end());
+  if (cand.corrupt.active && cand.corrupt.node >= nodes) {
+    cand.corrupt = CorruptSpec{};
+  }
+  return cand;
+}
+
+/// Rank-compacts the ID assignment toward 1..k (equal IDs stay equal, the
+/// order relation is preserved, so the paper's predicates are unchanged in
+/// structure while IDmax — and with it every pulse count — gets smaller).
+FuzzCase with_compact_ids(const FuzzCase& base) {
+  FuzzCase cand = base;
+  std::vector<std::uint64_t> sorted = cand.ids;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (auto& id : cand.ids) {
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), id);
+    id = static_cast<std::uint64_t>(it - sorted.begin()) + 1;
+  }
+  return cand;
+}
+
+void shrink_config(Ctx& ctx, FuzzCase& cur, CaseResult& cur_result) {
+  bool progressed = true;
+  while (progressed && cur.n() > 1 && !ctx.exhausted()) {
+    progressed = false;
+    for (sim::NodeId v = 0; v < cur.n() && cur.n() > 1; ++v) {
+      if (try_candidate(ctx, without_node(cur, v), cur, cur_result)) {
+        progressed = true;
+        break;  // indices shifted; restart the scan
+      }
+    }
+  }
+  FuzzCase compact = with_compact_ids(cur);
+  if (!(compact == cur)) {
+    try_candidate(ctx, std::move(compact), cur, cur_result);
+  }
+  if (!cur.port_flips.empty()) {
+    FuzzCase cand = cur;
+    cand.port_flips.clear();
+    try_candidate(ctx, std::move(cand), cur, cur_result);
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink_case(const FuzzCase& failing, const CaseResult& original,
+                         const PropertyOptions& opts,
+                         const ShrinkOptions& shrink_opts) {
+  COLEX_EXPECTS(!original.failed_property.empty());
+  Ctx ctx{opts, original.failed_property, shrink_opts, {}};
+
+  FuzzCase cur = failing;
+  CaseResult cur_result = original;
+  // Pin the schedule: from here on every candidate is a tape replay. If the
+  // pinned replay somehow fails to reproduce (it must, by replay
+  // determinism), shrinking just proceeds from the unpinned case.
+  if (cur.tape.empty()) {
+    FuzzCase pinned = cur;
+    pinned.tape = original.outcome.tape;
+    try_candidate(ctx, std::move(pinned), cur, cur_result);
+  }
+
+  std::size_t last_improvements = static_cast<std::size_t>(-1);
+  while (ctx.stats.improvements != last_improvements && !ctx.exhausted()) {
+    last_improvements = ctx.stats.improvements;
+    shrink_faults(ctx, cur, cur_result);
+    shrink_tape(ctx, cur, cur_result);
+    shrink_config(ctx, cur, cur_result);
+  }
+
+  return ShrinkResult{std::move(cur), std::move(cur_result), ctx.stats};
+}
+
+}  // namespace colex::qa

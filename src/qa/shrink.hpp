@@ -1,0 +1,56 @@
+// Counterexample shrinking: delta-debugging (ddmin) over a failing
+// FuzzCase, anchored to the property that originally failed.
+//
+// The pipeline, in order:
+//   1. pin the schedule — the recorded tape replaces the generated
+//      scheduler, so every candidate below is a deterministic replay (a
+//      tape entry naming a channel that is no longer pending falls back to
+//      oldest-first delivery, which keeps even structurally mutated
+//      candidates deterministic);
+//   2. shrink the fault plan — drop the corruption spec, zero the
+//      probabilistic profiles, ddmin the scripted one-shots and the
+//      preseeded channels (subsets of an at_event-sorted script stay
+//      sorted, which the injector requires);
+//   3. ddmin the schedule tape itself (the "schedule prefix" reduction);
+//   4. shrink the configuration — remove ring nodes one at a time
+//      (dropping fault references that fall off the smaller ring) and
+//      rank-compact the ID assignment toward 1..k;
+//   5. repeat 2-4 until a full pass makes no progress or the attempt
+//      budget runs out.
+//
+// A candidate is accepted iff check_case reports the SAME failed property,
+// so minimization never wanders from the defect being reproduced. The
+// result is locally minimal with respect to these operators, which is the
+// ddmin guarantee — not a global minimum.
+#pragma once
+
+#include <cstdint>
+
+#include "qa/generators.hpp"
+#include "qa/properties.hpp"
+
+namespace colex::qa {
+
+struct ShrinkStats {
+  std::size_t attempts = 0;      ///< candidate executions performed
+  std::size_t improvements = 0;  ///< candidates accepted
+};
+
+struct ShrinkOptions {
+  std::size_t max_attempts = 2000;  ///< execution budget for candidates
+};
+
+struct ShrinkResult {
+  FuzzCase minimal;
+  CaseResult result;  ///< check_case outcome on `minimal`
+  ShrinkStats stats;
+};
+
+/// Minimizes `failing`, whose check_case outcome is `original` (must carry
+/// a non-empty failed_property). `opts` must be the property options the
+/// failure was found under — the predicate re-checks candidates with them.
+ShrinkResult shrink_case(const FuzzCase& failing, const CaseResult& original,
+                         const PropertyOptions& opts,
+                         const ShrinkOptions& shrink_opts = {});
+
+}  // namespace colex::qa

@@ -122,6 +122,65 @@ std::string BurstyScheduler::name() const {
   return "bursty-" + std::to_string(seed_);
 }
 
+std::size_t WalkScheduler::pick(const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  // Locate the extremal heads once; bonuses attach to those channels.
+  const ChannelView* newest = &pending.front();
+  const ChannelView* oldest = &pending.front();
+  for (const auto& v : pending) {
+    if (v.head_seq > newest->head_seq) newest = &v;
+    if (v.head_seq < oldest->head_seq) oldest = &v;
+  }
+  std::uint64_t total = 0;
+  auto weight_of = [&](const ChannelView& v) {
+    std::uint64_t w = profile_.base;
+    if (&v == newest) w += profile_.lifo;
+    if (&v == oldest) w += profile_.fifo;
+    if (v.channel == last_) w += profile_.stick;
+    w += v.dir == Direction::cw ? profile_.cw : profile_.ccw;
+    return w > 0 ? w : 1;  // never starve a channel outright
+  };
+  for (const auto& v : pending) total += weight_of(v);
+  std::uint64_t r = rng_.below(total);
+  for (const auto& v : pending) {
+    const std::uint64_t w = weight_of(v);
+    if (r < w) {
+      last_ = v.channel;
+      return v.channel;
+    }
+    r -= w;
+  }
+  last_ = pending.back().channel;  // unreachable: weights sum to total
+  return last_;
+}
+
+std::string WalkScheduler::name() const {
+  return "walk-" + std::to_string(seed_);
+}
+
+std::size_t MixScheduler::pick(const std::vector<ChannelView>& pending) {
+  COLEX_EXPECTS(!pending.empty());
+  COLEX_EXPECTS(!parts_.empty());
+  if (remaining_ == 0) {
+    active_ = rng_.below(parts_.size());
+    remaining_ = 1 + rng_.below(24);
+  }
+  --remaining_;
+  return parts_[active_]->pick(pending);
+}
+
+std::string MixScheduler::name() const {
+  return "mix-" + std::to_string(seed_) + "/" +
+         std::to_string(parts_.size());
+}
+
+void MixScheduler::reset() {
+  rng_ = util::Xoshiro256StarStar(seed_);
+  active_ = 0;
+  remaining_ = 0;
+  for (auto& p : parts_) p->reset();
+}
+
 std::size_t SolitudeScheduler::pick(const std::vector<ChannelView>& pending) {
   COLEX_EXPECTS(!pending.empty());
   // Order sent; ties (same event step) broken by CW priority (Definition 21).

@@ -144,6 +144,63 @@ class BurstyScheduler final : public Scheduler {
   std::size_t remaining_ = 0;
 };
 
+/// Seeded biased random walk over the enabled events — the workhorse of the
+/// property-based fuzzing harness (src/qa). At every step each pending
+/// channel gets an integer weight from the profile (recency/staleness/
+/// stickiness/direction biases on top of a uniform base) and the next
+/// delivery is drawn categorically. Weights are integers, so a run is
+/// bit-reproducible from the seed; with an all-zero-bias profile this is
+/// exactly RandomScheduler.
+class WalkScheduler final : public Scheduler {
+ public:
+  struct Profile {
+    std::uint32_t base = 4;    ///< uniform weight on every pending channel
+    std::uint32_t lifo = 0;    ///< bonus for the most recently sent head
+    std::uint32_t fifo = 0;    ///< bonus for the oldest head
+    std::uint32_t stick = 0;   ///< bonus for the channel picked last step
+    std::uint32_t cw = 0;      ///< bonus for CW channels
+    std::uint32_t ccw = 0;     ///< bonus for CCW channels
+  };
+
+  WalkScheduler(std::uint64_t seed, Profile profile)
+      : seed_(seed), profile_(profile), rng_(seed) {}
+  std::size_t pick(const std::vector<ChannelView>& pending) override;
+  std::string name() const override;
+  void reset() override {
+    rng_ = util::Xoshiro256StarStar(seed_);
+    last_ = kNone;
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::uint64_t seed_;
+  Profile profile_;
+  util::Xoshiro256StarStar rng_;
+  std::size_t last_ = kNone;
+};
+
+/// Swarm-style scheduler mixture: owns a set of sub-schedulers and lets a
+/// seeded RNG hand control to one of them for a random burst of steps
+/// before re-drawing. Models an adversary that switches strategy mid-run;
+/// the fuzzing harness uses it to compose the standard suite with biased
+/// walks. Deterministic from (seed, parts).
+class MixScheduler final : public Scheduler {
+ public:
+  MixScheduler(std::uint64_t seed,
+               std::vector<std::unique_ptr<Scheduler>> parts)
+      : seed_(seed), parts_(std::move(parts)), rng_(seed) {}
+  std::size_t pick(const std::vector<ChannelView>& pending) override;
+  std::string name() const override;
+  void reset() override;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Scheduler>> parts_;
+  util::Xoshiro256StarStar rng_;
+  std::size_t active_ = 0;
+  std::size_t remaining_ = 0;
+};
+
 /// The scheduler of Definition 21 (solitude patterns) and Lemma 22: delivers
 /// pulses one by one in the order they were sent, breaking same-step ties by
 /// prioritizing CW pulses.

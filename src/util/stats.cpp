@@ -40,6 +40,7 @@ Summary summarize(std::vector<double> samples) {
                  : 0.0;
   s.p50 = percentile_sorted(samples, 0.50);
   s.p95 = percentile_sorted(samples, 0.95);
+  s.p99 = percentile_sorted(samples, 0.99);
   return s;
 }
 

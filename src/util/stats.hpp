@@ -15,6 +15,7 @@ struct Summary {
   double max = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Computes a full summary of `samples`. Percentiles use the nearest-rank

@@ -146,6 +146,42 @@ TEST(Stats, AllEqualSampleHasZeroSpread) {
   EXPECT_EQ(s.max, 7.0);
   EXPECT_EQ(s.p50, 7.0);
   EXPECT_EQ(s.p95, 7.0);
+  EXPECT_EQ(s.p99, 7.0);
+}
+
+TEST(Stats, P99NearestRankOnHundredSamples) {
+  // 1..100: nearest-rank p99 is ceil(0.99 * 100) = rank 99 -> value 99.
+  std::vector<double> xs(100);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i + 1);
+  }
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.p99, 99.0);
+  EXPECT_EQ(s.p95, 95.0);
+  EXPECT_EQ(s.p50, 50.0);
+}
+
+TEST(Stats, P99IsOrderInsensitive) {
+  // summarize sorts internally, so the reported tail is a pure function of
+  // the multiset of samples — the property fuzz campaigns rely on when they
+  // compare summaries across reruns of the same seed block.
+  std::vector<double> fwd, rev;
+  Xoshiro256StarStar rng(31);
+  for (int i = 0; i < 500; ++i) {
+    fwd.push_back(static_cast<double>(rng.below(10'000)));
+  }
+  rev.assign(fwd.rbegin(), fwd.rend());
+  const Summary a = summarize(fwd);
+  const Summary b = summarize(rev);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.max, b.max);
+}
+
+TEST(Stats, SmallSampleP99IsMax) {
+  // With fewer than 100 samples the 0.99 nearest rank is the last element.
+  const Summary s = summarize({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.p99, 3.0);
 }
 
 TEST(Stats, NonFiniteSamplesAreDropped) {
