@@ -1,10 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 CI: build + full test suite in the default configuration, then
-# again under ASan+UBSan, then the runtime (real-thread) tests under TSan.
-# Each configuration uses its own build tree so they never contaminate one
-# another. Exits non-zero on the first failing step.
+# again under ASan+UBSan, then the runtime (real-thread) tests under TSan,
+# plus the static-analysis gate (colex-lint). Each configuration uses its
+# own build tree so they never contaminate one another. Exits non-zero on
+# the first failing step.
+#
+#   ./ci.sh            all configurations + smokes + lint (the full gate)
+#   ./ci.sh --smoke    default build + full ctest + lint (quick pre-push)
+#   ./ci.sh lint       just the static-analysis stage
 set -euo pipefail
 cd "$(dirname "$0")"
+
+mode="${1:-all}"
+case "$mode" in
+  all|--all) mode=all ;;
+  smoke|--smoke) mode=smoke ;;
+  lint|--lint) mode=lint ;;
+  *)
+    echo "usage: $0 [all|--smoke|lint]" >&2
+    exit 2
+    ;;
+esac
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
@@ -23,16 +39,52 @@ run_config() {
   fi
 }
 
-# 1. Default configuration: full tier-1 suite.
-run_config build default ""
+# Static analysis (DESIGN.md §8): the tree must scan clean (justified
+# suppressions only) and the rules themselves must still catch every
+# planted violation in the fixture corpus. clang-tidy rides along when the
+# binary exists; the in-repo linter is the gate either way.
+run_lint() {
+  echo "==> [lint] configure + build colex-lint"
+  cmake -B build -S . -DCOLEX_WERROR=ON >/dev/null
+  cmake --build build -j "$jobs" --target colex-lint
+  echo "==> [lint] tree scan: src tools bench"
+  ./build/tools/colex-lint src tools bench
+  echo "==> [lint] rule self-test: tests/lint_fixtures"
+  ./build/tools/colex-lint --self-test tests/lint_fixtures
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> [lint] clang-tidy (via build/compile_commands.json)"
+    find src -name '*.cpp' -print0 \
+      | xargs -0 clang-tidy -p build --quiet
+  else
+    echo "==> [lint] clang-tidy not installed; skipped (colex-lint is the gate)"
+  fi
+}
 
-# 2. ASan + UBSan: full suite (memory errors and UB anywhere).
+if [ "$mode" = lint ]; then
+  run_lint
+  echo "==> lint green"
+  exit 0
+fi
+
+# 1. Default configuration: full tier-1 suite. -DCOLEX_WERROR=ON is the
+#    CMake default; pinned here so a cached build tree can never drop it.
+run_config build default "" -DCOLEX_WERROR=ON
+
+# 2. Static analysis on the tree just built.
+run_lint
+
+if [ "$mode" = smoke ]; then
+  echo "==> smoke green (default build + ctest + lint)"
+  exit 0
+fi
+
+# 3. ASan + UBSan: full suite (memory errors and UB anywhere).
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
 run_config build-asan asan+ubsan "" \
   -DCOLEX_ASAN=ON -DCOLEX_UBSAN=ON
 
-# 3. TSan: the tests that exercise real threads (ThreadRing runtime,
+# 4. TSan: the tests that exercise real threads (ThreadRing runtime,
 #    automaton host, the threaded fault/chaos harness, and the parallel
 #    schedule explorer — including the metrics layer's per-subtree registry
 #    ownership, exercised by test_parallel_explore and test_runtime_faults).
@@ -41,13 +93,13 @@ run_config build-tsan tsan \
   "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore|test_obs_metrics|test_obs_export" \
   -DCOLEX_TSAN=ON
 
-# 4. Bench smoke: the n=3 exhaustive sweep must finish, agree across both
+# 5. Bench smoke: the n=3 exhaustive sweep must finish, agree across both
 #    exploration engines, and show the snapshot engine >= 2x over replay
 #    (it writes BENCH_E12.json for the perf trail).
 echo "==> [bench-smoke] bench_e12_exhaustive --smoke"
 (cd build && ./bench/bench_e12_exhaustive --smoke)
 
-# 5. Observability smoke: E1 exports an instrumented trace, and the
+# 6. Observability smoke: E1 exports an instrumented trace, and the
 #    inspector must load it, audit conservation, and confirm the Theorem 1
 #    pulse bound from the recorded stream alone.
 echo "==> [obs-smoke] bench_e1_theorem1 --smoke + colex-inspect check"
@@ -57,7 +109,7 @@ echo "==> [obs-smoke] bench_e1_theorem1 --smoke + colex-inspect check"
   && ./tools/colex-inspect chrome TRACE_E1.jsonl TRACE_E1.chrome.json \
   && ./tools/colex-inspect diff TRACE_E1.jsonl TRACE_E1.jsonl >/dev/null)
 
-# 6. Fuzz smoke (on the sanitized build, so every generated schedule and
+# 7. Fuzz smoke (on the sanitized build, so every generated schedule and
 #    fault plan also runs under ASan+UBSan): a fixed-seed clean+faulty
 #    campaign must survive with no counterexample; the planted bound defect
 #    must be found, shrink to a minimal repro that replays deterministically

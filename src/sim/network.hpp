@@ -311,6 +311,8 @@ class Network {
   /// states, not traced runs, and an observer captured by reference would
   /// alias the original. The copy shares no mutable state with the source,
   /// so forks can be explored concurrently.
+  // colex-lint: allow(C001) send_observer_ is deliberately not cloned: forks
+  // are exploration states, not traced runs (see the doc comment above).
   Network clone() const {
     Network copy;
     copy.channels_ = channels_;

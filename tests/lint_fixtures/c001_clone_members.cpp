@@ -1,0 +1,43 @@
+// Fixture: C001 — clone completeness for snapshot forks.
+#include <cstdint>
+#include <memory>
+
+// Field-by-field clone that forgets a member: flagged.
+class DriftingCounter {
+ public:
+  std::unique_ptr<DriftingCounter> clone() const {  // colex-lint: expect(C001)
+    auto copy = std::make_unique<DriftingCounter>();
+    copy->count_ = count_;
+    return copy;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t forgotten_ = 0;
+};
+
+// Deliberate omission with a justification: suppressed.
+class ObservedCounter {
+ public:
+  std::unique_ptr<ObservedCounter> clone() const {  // colex-lint: allow(C001) expect-suppressed(C001) fixture: observer_ is rebound by the harness after forking
+    auto copy = std::make_unique<ObservedCounter>();
+    copy->count_ = count_;
+    return copy;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  void* observer_ = nullptr;
+};
+
+// `*this` through the implicit copy constructor copies every member by
+// construction: never flagged.
+class CompleteCounter {
+ public:
+  std::unique_ptr<CompleteCounter> clone() const {
+    return std::make_unique<CompleteCounter>(*this);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};

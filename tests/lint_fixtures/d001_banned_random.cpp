@@ -1,0 +1,21 @@
+// Fixture: D001 — banned nondeterminism sources.
+//
+// These files are never compiled; colex-lint --self-test lexes them and
+// checks every planted `expect(...)` / `expect-suppressed(...)` marker
+// against the findings the rules actually produce, by exact file:line.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int hardware_entropy() {
+  std::random_device dev;  // colex-lint: expect(D001)
+  return static_cast<int>(dev());
+}
+
+unsigned wall_clock_seed() {
+  return static_cast<unsigned>(time(nullptr));  // colex-lint: expect(D001)
+}
+
+int sanctioned_rand() {
+  return rand();  // colex-lint: allow(D001) expect-suppressed(D001) fixture: stands in for the sanctioned core in util/rng.hpp
+}

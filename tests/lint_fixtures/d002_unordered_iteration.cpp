@@ -1,0 +1,25 @@
+// Fixture: D002 — iteration over unordered containers.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct MetricsSink {
+  std::unordered_map<std::string, int> counters_;
+  std::unordered_set<int> seen_;
+
+  int total() const {
+    int sum = 0;
+    for (const auto& kv : counters_) {  // colex-lint: expect(D002)
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+  bool any() const {
+    auto it = seen_.begin();  // colex-lint: allow(D002) expect-suppressed(D002) fixture: only emptiness is observed, never order
+    return it != seen_.end();
+  }
+
+  // Insert-only use of an unordered container is fine.
+  void record(int v) { seen_.insert(v); }
+};

@@ -1,0 +1,17 @@
+// Fixture: D003 — mutable function-local statics.
+
+int next_ticket() {
+  static int counter = 0;  // colex-lint: expect(D003)
+  return ++counter;
+}
+
+int table_lookup(int i) {
+  static const int table[3] = {11, 22, 33};  // immutable: not flagged
+  return table[i % 3];
+}
+
+int memoized_size() {
+  static int cache = -1;  // colex-lint: allow(D003) expect-suppressed(D003) fixture: set-once cache, justified hidden state
+  if (cache < 0) cache = 64;
+  return cache;
+}

@@ -1,0 +1,4 @@
+// colex-lint: allow(H001) expect-suppressed(H001) fixture: generated-style fragment kept guard-free on purpose
+struct FixtureUnguardedAllowed {
+  int value = 0;
+};

@@ -1,0 +1,4 @@
+// Fixture: H001 — header without an include guard.  colex-lint: expect(H001)
+struct FixtureUnguarded {
+  int value = 0;
+};

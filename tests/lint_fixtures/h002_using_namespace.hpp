@@ -1,0 +1,12 @@
+// Fixture: H002 — using-directives in headers.
+#pragma once
+
+namespace fixture_h002 {
+inline int answer() { return 42; }
+}  // namespace fixture_h002
+
+using namespace fixture_h002;  // colex-lint: expect(H002)
+
+namespace fixture_shim {
+using namespace fixture_h002;  // colex-lint: allow(H002) expect-suppressed(H002) fixture: transitional shim namespace
+}  // namespace fixture_shim

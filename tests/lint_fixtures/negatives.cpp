@@ -1,0 +1,19 @@
+// Fixture: negatives — lookalikes that must stay clean.
+//
+// This file plants NO violations. The self-test fails on any finding here
+// ("unexpected finding with no expect marker"), so it pins down the
+// lexer's comment/string handling and the rules' lookalike filtering.
+#include <string>
+
+// A comment may mention std::rand(), mt19937, and time(nullptr) freely.
+inline const char* doc() {
+  return "strings may mention rand(), random_device and "
+         "unordered_map iteration without tripping the lexer";
+}
+
+// A variable or parameter merely *named* time is not wall-clock seeding.
+inline int time_like(int time) { return time + 1; }
+
+inline const char* raw() {
+  return R"(for (auto& kv : counters_) { std::rand(); })";
+}

@@ -1,0 +1,35 @@
+// Fixture: M001 — automata reading pulse content.
+//
+// The `src/co/` subdirectory mirrors the path scoping of the M-rules, and
+// the class derives from a name containing "Automaton" so its body falls
+// inside the rule's automaton extents.
+namespace fixture {
+
+struct Ctx;
+
+struct AutomatonBase {
+  virtual ~AutomatonBase() = default;
+};
+
+class PeekingNode : public AutomatonBase {
+ public:
+  void react(Ctx& ctx) {
+    if (ctx.recv(0).has_value()) {  // presence-only: allowed
+      ++pulses_;
+    }
+    const int bit = ctx.recv(0).value();  // colex-lint: expect(M001)
+    use(bit);
+  }
+
+  void shim(Ctx& ctx) {
+    const int bit = ctx.recv(1).value();  // colex-lint: allow(M001) expect-suppressed(M001) fixture: legacy adapter scheduled for removal
+    use(bit);
+  }
+
+  static void use(int) {}
+
+ private:
+  int pulses_ = 0;
+};
+
+}  // namespace fixture

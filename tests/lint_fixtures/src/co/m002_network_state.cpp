@@ -1,0 +1,27 @@
+// Fixture: M002 — automata touching global network state.
+namespace fixture {
+
+struct World;
+
+struct AutomatonBase2 {
+  virtual ~AutomatonBase2() = default;
+};
+
+class NosyNode : public AutomatonBase2 {
+ public:
+  explicit NosyNode(World& world) : world_(world) {}
+
+  void react() {
+    peeked_ = inbox_size(world_);  // colex-lint: expect(M002)
+  }
+
+  int shim() const {
+    return in_transit(world_);  // colex-lint: allow(M002) expect-suppressed(M002) fixture: legacy metric bridge, read-only
+  }
+
+ private:
+  World& world_;
+  int peeked_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: M003 — content smuggled into the pulse model.
+namespace fixture {
+
+struct Pulse {  // colex-lint: expect(M003)
+  int smuggled_bit = 0;
+};
+
+struct Frame {
+  int payload = 0;
+};
+
+template <class P>
+struct Network {};
+
+using ContentNet = Network<Frame>;  // colex-lint: expect(M003)
+using ShimNet = Network<Frame>;  // colex-lint: allow(M003) expect-suppressed(M003) fixture: instrumentation-only overlay network
+using PulseNet = Network<Pulse>;  // payload 'Pulse' is the model: allowed
+
+}  // namespace fixture

@@ -1,0 +1,76 @@
+// colex-lint: model-conformance and determinism static analysis for the
+// colex tree (DESIGN.md §8).
+//
+//   colex-lint [--json] <path>...        scan files/directories
+//   colex-lint --self-test <path>...     verify rules against planted
+//                                        fixtures (tests/lint_fixtures)
+//   colex-lint --list-rules              print the rule catalog
+//
+// Suppressions (justify them — reviewers read these):
+//   // colex-lint: allow(C001) <why this is a false positive>
+//   // colex-lint: allow-file(D002) <why, for the whole file>
+//
+// Exit status mirrors colex-fuzz: 0 clean, 1 findings (or self-test
+// mismatch), 2 usage / I-O error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/driver.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  colex-lint [--json] <path>...\n"
+               "  colex-lint --self-test <path>...\n"
+               "  colex-lint --list-rules\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool self_test = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : colex::lint::rule_catalog()) {
+        std::cout << rule.id << "  " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "colex-lint: unknown option '" << arg << "'\n";
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  if (self_test) {
+    const auto result = colex::lint::run_self_test(paths);
+    for (const std::string& p : result.problems) {
+      std::cerr << "colex-lint self-test: " << p << "\n";
+    }
+    std::cout << "colex-lint self-test: " << result.expectations
+              << " expectations, " << result.rules_exercised.size()
+              << " rules exercised, "
+              << (result.ok ? "all matched" : "MISMATCH") << "\n";
+    return result.ok ? 0 : 1;
+  }
+
+  const auto outcome = colex::lint::scan_paths(paths);
+  if (json) {
+    colex::lint::print_json(std::cout, outcome);
+  } else {
+    colex::lint::print_human(std::cout, outcome);
+  }
+  return colex::lint::exit_code(outcome);
+}

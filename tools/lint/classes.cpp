@@ -1,0 +1,363 @@
+#include "lint/classes.hpp"
+
+namespace colex::lint {
+
+namespace {
+
+enum class ScopeKind { namespace_, class_, enum_, function, block, expr };
+
+struct Scope {
+  ScopeKind kind;
+  std::size_t class_index = static_cast<std::size_t>(-1);  // into classes
+  std::size_t func_index = static_cast<std::size_t>(-1);   // into functions
+  int paren_depth_at_open = 0;
+};
+
+bool is_control_keyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch";
+}
+
+bool is_qualifier(const std::string& s) {
+  return s == "const" || s == "override" || s == "final" || s == "noexcept" ||
+         s == "mutable";
+}
+
+class Walker {
+ public:
+  explicit Walker(const SourceFile& file) : file_(file), toks_(file.tokens) {}
+
+  FileIndex run() {
+    for (i_ = 0; i_ < toks_.size(); ++i_) {
+      const Token& t = toks_[i_];
+      if (t.kind == Tok::punct) {
+        if (t.text == "(") ++paren_depth_;
+        else if (t.text == ")" && paren_depth_ > 0) --paren_depth_;
+        else if (t.text == "{") open_brace();
+        else if (t.text == "}") close_brace();
+        continue;
+      }
+      if (t.kind != Tok::identifier) continue;
+      if (t.text == "static") check_static_local();
+      if (in_class_body() && paren_depth_ == scopes_.back().paren_depth_at_open)
+        maybe_member();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool in_class_body() const {
+    return !scopes_.empty() && scopes_.back().kind == ScopeKind::class_;
+  }
+
+  bool inside_function() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == ScopeKind::function) return true;
+      if (it->kind == ScopeKind::class_ || it->kind == ScopeKind::namespace_)
+        return false;
+    }
+    return false;
+  }
+
+  /// D003 candidate: `static` inside a function body, not const-qualified.
+  void check_static_local() {
+    if (!inside_function()) return;
+    for (std::size_t j = i_ + 1; j < toks_.size() && j <= i_ + 3; ++j) {
+      const std::string& s = toks_[j].text;
+      if (s == "const" || s == "constexpr" || s == "constinit") return;
+      if (toks_[j].kind != Tok::identifier) break;
+    }
+    out_.mutable_static_local_lines.push_back(toks_[i_].line);
+  }
+
+  /// Trailing-underscore identifier declared at class scope => data member.
+  void maybe_member() {
+    const Token& t = toks_[i_];
+    if (t.text.size() < 2 || t.text.back() != '_') return;
+    if (i_ + 1 >= toks_.size()) return;
+    const Token& next = toks_[i_ + 1];
+    if (next.kind != Tok::punct) return;
+    if (next.text != ";" && next.text != "=" && next.text != "{" &&
+        next.text != "[" && next.text != ",")
+      return;
+    if (i_ > 0 && toks_[i_ - 1].kind == Tok::punct &&
+        (toks_[i_ - 1].text == ":" || toks_[i_ - 1].text == "."))
+      return;
+    ClassDef& cls = out_.classes[scopes_.back().class_index];
+    if (cls.member_lines.count(t.text) == 0) {
+      cls.members.push_back(t.text);
+      cls.member_lines[t.text] = t.line;
+    }
+  }
+
+  /// Index of the '(' matching the ')' at `close`, or npos.
+  std::size_t match_paren_back(std::size_t close) const {
+    int depth = 0;
+    for (std::size_t j = close + 1; j-- > 0;) {
+      const Token& t = toks_[j];
+      if (t.kind != Tok::punct) continue;
+      if (t.text == ")") ++depth;
+      if (t.text == "(") {
+        --depth;
+        if (depth == 0) return j;
+      }
+    }
+    return static_cast<std::size_t>(-1);
+  }
+
+  /// Given the ')' ending a parenthesized group right before a '{', decide
+  /// control-block vs function body, walking leftwards through constructor
+  /// initializer lists.
+  void classify_after_paren(std::size_t close, Scope& scope) {
+    for (int hops = 0; hops < 64; ++hops) {
+      const std::size_t open = match_paren_back(close);
+      if (open == static_cast<std::size_t>(-1) || open == 0) {
+        scope.kind = ScopeKind::block;
+        return;
+      }
+      const Token& before = toks_[open - 1];
+      if (before.kind != Tok::identifier) {
+        // `](...)` lambda, `operator()(..)`, or an expression: treat any
+        // brace following a non-identifier paren group as a function body —
+        // for our rules only the "inside a function" property matters.
+        scope.kind = before.text == "]" ? ScopeKind::function
+                                        : ScopeKind::expr;
+        return;
+      }
+      if (is_control_keyword(before.text)) {
+        scope.kind = ScopeKind::block;
+        return;
+      }
+      if (before.text == "constexpr" && open >= 2 &&
+          toks_[open - 2].text == "if") {
+        scope.kind = ScopeKind::block;
+        return;
+      }
+      // Identifier before '(' — but it may be a member initializer inside a
+      // constructor init list: `X::X(..) : a_(v), b_(w) {`. Step over it.
+      if (open >= 2 && toks_[open - 2].kind == Tok::punct &&
+          (toks_[open - 2].text == "," || toks_[open - 2].text == ":")) {
+        const std::size_t sep = open - 2;
+        if (toks_[sep].text == ":" &&
+            !(sep >= 1 && toks_[sep - 1].text == ":")) {
+          // Init-list ':' — the real signature's ')' sits right before it.
+          if (sep >= 1 && toks_[sep - 1].text == ")") {
+            close = sep - 1;
+            continue;
+          }
+        }
+        if (toks_[sep].text == ",") {
+          // Previous initializer group ends just before the ','.
+          if (sep >= 1 &&
+              (toks_[sep - 1].text == ")" || toks_[sep - 1].text == "}")) {
+            if (toks_[sep - 1].text == ")") {
+              close = sep - 1;
+              continue;
+            }
+            scope.kind = ScopeKind::function;  // brace-init member; give up
+            return;                            // on naming, keep the kind
+          }
+        }
+      }
+      // Found the function name.
+      scope.kind = ScopeKind::function;
+      FunctionDef fn;
+      fn.name = before.text;
+      fn.line = before.line;
+      fn.sig_begin = open - 1;
+      // Owner: `X :: name` qualification, else the enclosing class.
+      if (open >= 4 && toks_[open - 2].text == ":" &&
+          toks_[open - 3].text == ":" &&
+          toks_[open - 4].kind == Tok::identifier) {
+        fn.owner = toks_[open - 4].text;
+        fn.sig_begin = open - 4;
+      } else {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+          if (it->kind == ScopeKind::class_) {
+            fn.owner = out_.classes[it->class_index].name;
+            break;
+          }
+          if (it->kind != ScopeKind::block && it->kind != ScopeKind::expr)
+            break;
+        }
+      }
+      scope.func_index = out_.functions.size();
+      out_.functions.push_back(fn);
+      return;
+    }
+    scope.kind = ScopeKind::block;
+  }
+
+  /// Scan the declaration head leftwards for class/enum/namespace keywords.
+  bool classify_from_head(Scope& scope) {
+    bool saw_enum = false;
+    std::size_t keyword_at = static_cast<std::size_t>(-1);
+    for (std::size_t j = i_, steps = 0; j-- > 0 && steps < 64; ++steps) {
+      const Token& t = toks_[j];
+      if (t.kind == Tok::punct &&
+          (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ")" ||
+           t.text == "=")) {
+        break;
+      }
+      if (t.text == "enum") saw_enum = true;
+      if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+          t.text == "namespace") {
+        keyword_at = j;
+        if (t.text == "namespace") {
+          scope.kind = ScopeKind::namespace_;
+          return true;
+        }
+        // keep scanning left in case this is `enum class`
+      }
+    }
+    if (keyword_at == static_cast<std::size_t>(-1)) return false;
+    if (saw_enum) {
+      scope.kind = ScopeKind::enum_;
+      return true;
+    }
+    scope.kind = ScopeKind::class_;
+    ClassDef cls;
+    cls.line = toks_[i_].line;
+    cls.body_begin = i_ + 1;
+    // Head: NAME [final] [: base-clause] up to '{'.
+    bool in_bases = false;
+    for (std::size_t j = keyword_at + 1; j < i_; ++j) {
+      const Token& t = toks_[j];
+      if (t.kind == Tok::punct && t.text == ":" &&
+          !(j + 1 < i_ && toks_[j + 1].text == ":") &&
+          !(j >= 1 && toks_[j - 1].text == ":")) {
+        in_bases = true;
+        continue;
+      }
+      if (t.kind != Tok::identifier) continue;
+      if (in_bases) {
+        if (t.text != "public" && t.text != "private" &&
+            t.text != "protected" && t.text != "virtual") {
+          cls.bases.push_back(t.text);
+        }
+      } else if (cls.name.empty() && t.text != "final" && t.text != "alignas") {
+        cls.name = t.text;
+      }
+    }
+    scope.class_index = out_.classes.size();
+    out_.classes.push_back(std::move(cls));
+    return true;
+  }
+
+  void open_brace() {
+    Scope scope;
+    scope.kind = ScopeKind::block;
+    scope.paren_depth_at_open = paren_depth_;
+    do {
+      if (i_ == 0) break;
+      const Token& prev = toks_[i_ - 1];
+      if (prev.text == "try" || prev.text == "else" || prev.text == "do") {
+        scope.kind = ScopeKind::block;
+        break;
+      }
+      if (prev.kind == Tok::punct &&
+          (prev.text == "=" || prev.text == "," || prev.text == "(" ||
+           prev.text == "[" || prev.text == "<")) {
+        scope.kind = ScopeKind::expr;
+        break;
+      }
+      if (prev.text == "]") {  // captureless lambda: `[..] {`
+        scope.kind = ScopeKind::function;
+        break;
+      }
+      if (prev.kind == Tok::string_lit) {  // extern "C" {
+        scope.kind = ScopeKind::namespace_;
+        break;
+      }
+      // Skip trailing cv/ref/exception qualifiers, then look for ')'.
+      std::size_t j = i_ - 1;
+      while (j > 0 && toks_[j].kind == Tok::identifier &&
+             is_qualifier(toks_[j].text)) {
+        --j;
+      }
+      // Trailing return type chain `) -> T...`.
+      for (int steps = 0; steps < 32 && j > 0; ++steps) {
+        const Token& t = toks_[j];
+        if (t.kind == Tok::punct && t.text == ")") break;
+        if (t.kind == Tok::identifier || t.kind == Tok::number ||
+            (t.kind == Tok::punct &&
+             (t.text == "<" || t.text == ">" || t.text == ":" ||
+              t.text == "*" || t.text == "&" || t.text == ","))) {
+          if (t.text == ">" && j >= 1 && toks_[j - 1].text == "-") {
+            --j;  // part of '->'
+          }
+          --j;
+          continue;
+        }
+        break;
+      }
+      if (toks_[j].kind == Tok::punct && toks_[j].text == ")") {
+        classify_after_paren(j, scope);
+        break;
+      }
+      if (classify_from_head(scope)) break;
+      // `Type{...}` aggregate init or an unrecognized construct.
+      scope.kind = ScopeKind::expr;
+    } while (false);
+
+    if (scope.kind == ScopeKind::function &&
+        scope.func_index == static_cast<std::size_t>(-1)) {
+      FunctionDef fn;  // unnamed (lambda): body still counts as a function
+      fn.line = toks_[i_].line;
+      fn.sig_begin = i_ + 1;
+      scope.func_index = out_.functions.size();
+      out_.functions.push_back(fn);
+    }
+    if (scope.func_index != static_cast<std::size_t>(-1)) {
+      out_.functions[scope.func_index].body_begin = i_ + 1;
+    }
+    scopes_.push_back(scope);
+  }
+
+  void close_brace() {
+    if (scopes_.empty()) return;  // tolerate unbalanced input
+    const Scope scope = scopes_.back();
+    scopes_.pop_back();
+    if (scope.class_index != static_cast<std::size_t>(-1)) {
+      out_.classes[scope.class_index].body_end = i_;
+    }
+    if (scope.func_index != static_cast<std::size_t>(-1)) {
+      out_.functions[scope.func_index].body_end = i_;
+    }
+  }
+
+  const SourceFile& file_;
+  const std::vector<Token>& toks_;
+  std::size_t i_ = 0;
+  int paren_depth_ = 0;
+  std::vector<Scope> scopes_;
+  FileIndex out_;
+};
+
+}  // namespace
+
+FileIndex build_file_index(const SourceFile& file) {
+  return Walker(file).run();
+}
+
+ProjectIndex build_project_index(const std::vector<SourceFile>& files) {
+  ProjectIndex project;
+  project.files.reserve(files.size());
+  for (const SourceFile& f : files) {
+    project.files.push_back(build_file_index(f));
+  }
+  for (const FileIndex& fi : project.files) {
+    for (const ClassDef& cls : fi.classes) {
+      if (cls.name.empty()) continue;
+      for (const std::string& base : cls.bases) {
+        if (base.find("Automaton") != std::string::npos) {
+          project.automaton_classes.insert(cls.name);
+          break;
+        }
+      }
+    }
+  }
+  return project;
+}
+
+}  // namespace colex::lint

@@ -1,0 +1,71 @@
+// Brace/scope walker and class indexer for colex-lint.
+//
+// Produces, per file, the three structural facts the rules need beyond raw
+// tokens:
+//
+//   * class definitions with their body extents, base-specifier tokens, and
+//     declared data members (the repo convention: trailing-underscore
+//     identifiers declared at class scope),
+//   * function definitions with their owning class (in-class definitions and
+//     out-of-line `X::f` alike) and body extents,
+//   * `static` locals declared mutable inside function bodies (rule D003).
+//
+// The walker is a heuristic brace classifier, not a parser: it decides for
+// every `{` whether it opens a namespace, class, enum, function body,
+// control block, or expression (aggregate init / lambda argument), using
+// only nearby tokens. That is exact on this codebase's style and degrades
+// to "Expr" (ignored) on constructs it does not recognize.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace colex::lint {
+
+struct ClassDef {
+  std::string name;                 // "" for anonymous
+  int line = 0;
+  std::size_t body_begin = 0;       // token index just after '{'
+  std::size_t body_end = 0;         // token index of '}'
+  std::vector<std::string> bases;   // identifier tokens of the base clause
+  std::vector<std::string> members;          // trailing-underscore members
+  std::map<std::string, int> member_lines;   // member -> declaration line
+};
+
+struct FunctionDef {
+  std::string owner;  // enclosing class, or `X` for out-of-line `X::f`
+  std::string name;   // "" when unresolvable (lambda, operator)
+  int line = 0;       // line of the name token (or of '{' when unnamed)
+  std::size_t sig_begin = 0;  // token index of the name (params + init list
+                              // + body follow); == body_begin when unnamed
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+struct FileIndex {
+  std::vector<ClassDef> classes;
+  std::vector<FunctionDef> functions;
+  std::vector<int> mutable_static_local_lines;  // D003 raw hits
+};
+
+FileIndex build_file_index(const SourceFile& file);
+
+/// Project-wide aggregate: file indexes plus the facts that need
+/// cross-file joins (a class declared in a header, cloned in a .cpp).
+struct ProjectIndex {
+  // Parallel to the driver's file list.
+  std::vector<FileIndex> files;
+  // Names of classes whose base clause names an Automaton type. M-rules
+  // treat the extents of these classes (and of their out-of-line member
+  // functions) as "automaton code".
+  std::set<std::string> automaton_classes;
+};
+
+ProjectIndex build_project_index(const std::vector<SourceFile>& files);
+
+}  // namespace colex::lint

@@ -1,0 +1,45 @@
+// colex-lint driver: file collection, suppression, reporting, self-test.
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace colex::lint {
+
+struct ScanOutcome {
+  std::vector<Finding> findings;    // after suppression
+  std::vector<Finding> suppressed;  // matched by an allow marker
+  std::vector<std::string> errors;  // unreadable paths / empty scan
+  std::size_t files_scanned = 0;
+};
+
+/// Scans files and directories (recursively; .cpp/.cc/.cxx/.hpp/.h/.hh/.hxx),
+/// in sorted path order so output is deterministic.
+ScanOutcome scan_paths(const std::vector<std::string>& paths);
+
+/// Fixture self-test: every `expect(R)` marker must produce exactly one
+/// reported finding of rule R on that line, every `expect-suppressed(R)` a
+/// suppressed one, and no unexpected findings may appear. Guards the rule
+/// implementations themselves (wired into ci.sh lint and
+/// tests/test_lint_rules.cpp).
+struct SelfTestOutcome {
+  bool ok = false;
+  std::vector<std::string> problems;
+  std::size_t expectations = 0;
+  std::set<std::string> rules_exercised;
+};
+
+SelfTestOutcome run_self_test(const std::vector<std::string>& paths);
+
+void print_human(std::ostream& os, const ScanOutcome& outcome);
+void print_json(std::ostream& os, const ScanOutcome& outcome);
+
+/// Exit contract shared with colex-fuzz/colex-inspect:
+/// 0 clean, 1 findings, 2 usage or I/O error.
+int exit_code(const ScanOutcome& outcome);
+
+}  // namespace colex::lint

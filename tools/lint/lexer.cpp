@@ -1,0 +1,134 @@
+#include "lint/lexer.hpp"
+
+namespace colex::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+LexResult lex(const std::string& src) {
+  LexResult out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+        c == '\f') {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int start = line;
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back(Comment{start, start, src.substr(i + 2, j - i - 2)});
+      advance(j - i);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      std::string text = src.substr(i + 2, j - i - 2);
+      advance(end - i);
+      out.comments.push_back(Comment{start, line, std::move(text)});
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n' && delim.size() <= 16) {
+        delim.push_back(src[j]);
+        ++j;
+      }
+      if (j < n && src[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t close = src.find(closer, j + 1);
+        const std::size_t end = (close == std::string::npos)
+                                    ? n
+                                    : close + closer.size();
+        out.tokens.push_back(Token{Tok::string_lit, src.substr(i, end - i), line});
+        advance(end - i);
+        continue;
+      }
+      // Not actually a raw string ("R" followed by an odd quote): fall through
+      // and lex the R as an identifier.
+    }
+    // String / char literal (with escapes).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start = line;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') break;  // unterminated: stop at the line end
+        ++j;
+      }
+      const std::size_t end = (j < n && src[j] == quote) ? j + 1 : j;
+      out.tokens.push_back(Token{quote == '"' ? Tok::string_lit : Tok::char_lit,
+                                 src.substr(i, end - i), start});
+      advance(end - i);
+      continue;
+    }
+    // Identifier / keyword.
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(src[j])) ++j;
+      out.tokens.push_back(Token{Tok::identifier, src.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+    // Number (pp-number: digits, alnum, quotes-as-separators, exponent signs).
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = src[j - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      out.tokens.push_back(Token{Tok::number, src.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+    // Backslash-newline (macro continuation): skip silently.
+    if (c == '\\') {
+      advance(1);
+      continue;
+    }
+    out.tokens.push_back(Token{Tok::punct, std::string(1, c), line});
+    advance(1);
+  }
+  return out;
+}
+
+}  // namespace colex::lint

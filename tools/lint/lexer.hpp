@@ -1,0 +1,49 @@
+// Token-level lexer for colex-lint (see tools/lint/README in DESIGN.md §8).
+//
+// colex-lint deliberately stops at the token level: no clang front-end is
+// available in the build image, and every rule we enforce (banned
+// identifiers, container iteration, clone completeness, model-conformance
+// inside automaton class extents) is decidable from tokens plus light brace
+// matching. The lexer therefore only needs to be exact about the things that
+// make token scans lie: comments, string/char literals (including raw
+// strings), and line numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace colex::lint {
+
+enum class Tok {
+  identifier,  // keywords are identifiers too; rules match by text
+  number,
+  string_lit,
+  char_lit,
+  punct,  // single punctuation character ("<<" is two '<' tokens)
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+/// A comment, kept out of the token stream but retained for the
+/// suppression/expectation markers (// colex-lint: ...).
+struct Comment {
+  int line;      // line the comment starts on
+  int end_line;  // last line (== line for // comments)
+  std::string text;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lexes a whole translation unit. Never fails: unterminated literals are
+/// closed at end-of-file (a linter must degrade gracefully on odd input).
+LexResult lex(const std::string& source);
+
+}  // namespace colex::lint

@@ -1,0 +1,44 @@
+// The colex-lint rule catalog (see DESIGN.md §8 for the rationale).
+//
+// Families:
+//   D (determinism)       — D001 banned nondeterminism sources,
+//                           D002 unordered-container iteration,
+//                           D003 mutable function-local statics
+//   M (model conformance) — M001 payload-content reads in automaton code,
+//                           M002 neighbor/global network state access,
+//                           M003 non-empty Pulse payload / content-carrying
+//                                instantiations in content-oblivious code
+//   C (clone completeness)— C001 clone()/copy path missing a data member
+//   H (hygiene)           — H001 header without include guard,
+//                           H002 `using namespace` in a header
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/classes.hpp"
+#include "lint/source.hpp"
+
+namespace colex::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// Stable catalog, ordered by rule id (for --list-rules and the docs).
+std::vector<RuleInfo> rule_catalog();
+
+/// Runs every rule over the project. Returned findings are pre-suppression
+/// (the driver applies allow markers) and sorted by (file, line, rule).
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const ProjectIndex& project);
+
+}  // namespace colex::lint

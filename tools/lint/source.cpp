@@ -1,0 +1,109 @@
+#include "lint/source.hpp"
+
+#include <cctype>
+
+namespace colex::lint {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Splits "D001, D002" into trimmed rule ids.
+std::vector<std::string> split_rules(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ' && c != '\t') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Parses every `name(args)` directive after a "colex-lint:" introducer.
+/// `anchor` is the line the markers attach to: the last line of the
+/// contiguous comment block the directive lives in, so a justification may
+/// wrap onto further comment lines below the directive.
+void parse_markers(SourceFile& file, const Comment& comment, int anchor) {
+  const std::string key = "colex-lint:";
+  std::size_t at = comment.text.find(key);
+  if (at == std::string::npos) return;
+  at += key.size();
+  while (at < comment.text.size()) {
+    // Next directive name.
+    while (at < comment.text.size() &&
+           !(std::isalpha(static_cast<unsigned char>(comment.text[at])) != 0)) {
+      ++at;
+    }
+    std::size_t name_end = at;
+    while (name_end < comment.text.size() &&
+           (std::isalnum(static_cast<unsigned char>(comment.text[name_end])) !=
+                0 ||
+            comment.text[name_end] == '-')) {
+      ++name_end;
+    }
+    if (name_end >= comment.text.size() || comment.text[name_end] != '(') {
+      break;  // trailing justification prose, not a directive
+    }
+    const std::string name = comment.text.substr(at, name_end - at);
+    const std::size_t close = comment.text.find(')', name_end);
+    if (close == std::string::npos) break;
+    const std::vector<std::string> rules =
+        split_rules(comment.text.substr(name_end + 1, close - name_end - 1));
+    if (name == "allow") {
+      for (const auto& r : rules) file.allow[anchor].insert(r);
+    } else if (name == "allow-file") {
+      for (const auto& r : rules) file.allow_file.insert(r);
+    } else if (name == "expect") {
+      for (const auto& r : rules) file.expect[anchor].push_back(r);
+    } else if (name == "expect-suppressed") {
+      for (const auto& r : rules) file.expect_suppressed[anchor].push_back(r);
+    }
+    at = close + 1;
+  }
+}
+
+}  // namespace
+
+bool SourceFile::suppressed(const std::string& rule, int line) const {
+  if (allow_file.count(rule) != 0) return true;
+  for (const int l : {line, line - 1}) {
+    const auto it = allow.find(l);
+    if (it != allow.end() && it->second.count(rule) != 0) return true;
+  }
+  return false;
+}
+
+SourceFile make_source_file(std::string path, const std::string& source) {
+  SourceFile file;
+  file.is_header = ends_with(path, ".hpp") || ends_with(path, ".h") ||
+                   ends_with(path, ".hh") || ends_with(path, ".hxx");
+  file.path = std::move(path);
+  LexResult lexed = lex(source);
+  file.tokens = std::move(lexed.tokens);
+  file.comments = std::move(lexed.comments);
+  std::set<int> code_lines;
+  for (const Token& t : file.tokens) code_lines.insert(t.line);
+  std::set<int> comment_lines;
+  for (const Comment& c : file.comments) {
+    for (int l = c.line; l <= c.end_line; ++l) comment_lines.insert(l);
+  }
+  for (const Comment& c : file.comments) {
+    int anchor = c.end_line;
+    while (comment_lines.count(anchor + 1) != 0 &&
+           code_lines.count(anchor + 1) == 0) {
+      ++anchor;
+    }
+    parse_markers(file, c, anchor);
+  }
+  return file;
+}
+
+}  // namespace colex::lint

@@ -1,0 +1,49 @@
+// A lexed source file plus its colex-lint control markers.
+//
+// Markers live in comments so they survive compilation untouched:
+//
+//   // colex-lint: allow(C001) <justification>      suppress on this line
+//                                                   or the line below
+//   // colex-lint: allow-file(D002) <justification> suppress for the file
+//   // colex-lint: expect(D001)                     fixture: a finding with
+//                                                   this rule id must be
+//                                                   reported on this line
+//   // colex-lint: expect-suppressed(D001)          fixture: a finding must
+//                                                   fire here AND be
+//                                                   suppressed by an allow
+//
+// Several directives may share one comment; a directive may list several
+// rule ids separated by commas. Block comments anchor their markers at the
+// comment's *last* line, so a doc block directly above a declaration
+// suppresses that declaration.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace colex::lint {
+
+struct SourceFile {
+  std::string path;  // as reported in diagnostics (relative to scan root)
+  bool is_header = false;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+
+  std::map<int, std::set<std::string>> allow;              // line -> rules
+  std::set<std::string> allow_file;                        // whole file
+  std::map<int, std::vector<std::string>> expect;          // line -> rules
+  std::map<int, std::vector<std::string>> expect_suppressed;
+
+  /// True if `rule` is suppressed for a finding on `line`: an allow marker on
+  /// the same line, on the line directly above, or file-wide.
+  bool suppressed(const std::string& rule, int line) const;
+};
+
+/// Lexes `source` and extracts markers. `path` is stored verbatim.
+SourceFile make_source_file(std::string path, const std::string& source);
+
+}  // namespace colex::lint
