@@ -5,9 +5,10 @@
 # own build tree so they never contaminate one another. Exits non-zero on
 # the first failing step.
 #
-#   ./ci.sh            all configurations + smokes + lint (the full gate)
-#   ./ci.sh --smoke    default build + full ctest + lint (quick pre-push)
-#   ./ci.sh lint       just the static-analysis stage
+#   ./ci.sh             all configurations + smokes + lint (the full gate)
+#   ./ci.sh --smoke     default build + full ctest + lint + soak smoke
+#   ./ci.sh lint        just the static-analysis stage
+#   ./ci.sh soak-smoke  just the soak gate on the default build
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,8 +17,9 @@ case "$mode" in
   all|--all) mode=all ;;
   smoke|--smoke) mode=smoke ;;
   lint|--lint) mode=lint ;;
+  soak-smoke|--soak-smoke) mode=soak-smoke ;;
   *)
-    echo "usage: $0 [all|--smoke|lint]" >&2
+    echo "usage: $0 [all|--smoke|lint|soak-smoke]" >&2
     exit 2
     ;;
 esac
@@ -60,9 +62,34 @@ run_lint() {
   fi
 }
 
+# Soak smoke (DESIGN.md §9): a short sharded multi-ring soak under steady
+# churn must finish with the service-level gate intact — zero diverged,
+# zero safety-violated, zero abandoned elections — verified on the --json
+# summary, not just the exit code, so a reporting regression also fails.
+run_soak_smoke() {
+  local dir="$1" label="$2"
+  echo "==> [$label] soak smoke: colex-soak (256 rings, >=200 elections)"
+  cmake --build "$dir" -j "$jobs" --target colex-soak >/dev/null
+  local summary
+  summary="$("$dir"/tools/colex-soak --duration 2 --rings 256 \
+      --min-elections 200 --seed 7 --churn steady --json)"
+  echo "    $summary"
+  echo "$summary" | grep -q '"diverged":0,'
+  echo "$summary" | grep -q '"safety_violated":0,'
+  echo "$summary" | grep -q '"abandoned":0,'
+  echo "$summary" | grep -q '"ok":true'
+}
+
 if [ "$mode" = lint ]; then
   run_lint
   echo "==> lint green"
+  exit 0
+fi
+
+if [ "$mode" = soak-smoke ]; then
+  cmake -B build -S . -DCOLEX_WERROR=ON >/dev/null
+  run_soak_smoke build default
+  echo "==> soak smoke green"
   exit 0
 fi
 
@@ -73,33 +100,44 @@ run_config build default "" -DCOLEX_WERROR=ON
 # 2. Static analysis on the tree just built.
 run_lint
 
+# 3. Soak smoke on the default build (repeated under the sanitizers below).
+run_soak_smoke build default
+
 if [ "$mode" = smoke ]; then
-  echo "==> smoke green (default build + ctest + lint)"
+  echo "==> smoke green (default build + ctest + lint + soak smoke)"
   exit 0
 fi
 
-# 3. ASan + UBSan: full suite (memory errors and UB anywhere).
+# 4. ASan + UBSan: full suite (memory errors and UB anywhere), then the
+#    soak smoke on the sanitized binaries.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
 run_config build-asan asan+ubsan "" \
   -DCOLEX_ASAN=ON -DCOLEX_UBSAN=ON
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+run_soak_smoke build-asan asan+ubsan
 
-# 4. TSan: the tests that exercise real threads (ThreadRing runtime,
-#    automaton host, the threaded fault/chaos harness, and the parallel
-#    schedule explorer — including the metrics layer's per-subtree registry
-#    ownership, exercised by test_parallel_explore and test_runtime_faults).
+# 5. TSan: the tests that exercise real threads (ThreadRing runtime,
+#    automaton host, the threaded fault/chaos harness, the parallel
+#    schedule explorer, and the sharded soak driver — including the metrics
+#    layer's per-subtree registry ownership, exercised by
+#    test_parallel_explore, test_runtime_faults, and test_svc_soak), then
+#    the soak smoke with real data races on the line.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 run_config build-tsan tsan \
-  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore|test_obs_metrics|test_obs_export" \
+  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore|test_obs_metrics|test_obs_export|test_svc_soak" \
   -DCOLEX_TSAN=ON
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+run_soak_smoke build-tsan tsan
 
-# 5. Bench smoke: the n=3 exhaustive sweep must finish, agree across both
+# 6. Bench smoke: the n=3 exhaustive sweep must finish, agree across both
 #    exploration engines, and show the snapshot engine >= 2x over replay
 #    (it writes BENCH_E12.json for the perf trail).
 echo "==> [bench-smoke] bench_e12_exhaustive --smoke"
 (cd build && ./bench/bench_e12_exhaustive --smoke)
 
-# 6. Observability smoke: E1 exports an instrumented trace, and the
+# 7. Observability smoke: E1 exports an instrumented trace, and the
 #    inspector must load it, audit conservation, and confirm the Theorem 1
 #    pulse bound from the recorded stream alone.
 echo "==> [obs-smoke] bench_e1_theorem1 --smoke + colex-inspect check"
@@ -109,7 +147,7 @@ echo "==> [obs-smoke] bench_e1_theorem1 --smoke + colex-inspect check"
   && ./tools/colex-inspect chrome TRACE_E1.jsonl TRACE_E1.chrome.json \
   && ./tools/colex-inspect diff TRACE_E1.jsonl TRACE_E1.jsonl >/dev/null)
 
-# 7. Fuzz smoke (on the sanitized build, so every generated schedule and
+# 8. Fuzz smoke (on the sanitized build, so every generated schedule and
 #    fault plan also runs under ASan+UBSan): a fixed-seed clean+faulty
 #    campaign must survive with no counterexample; the planted bound defect
 #    must be found, shrink to a minimal repro that replays deterministically

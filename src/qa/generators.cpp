@@ -205,6 +205,10 @@ sim::FaultPlan sample_fault_plan(std::size_t n, std::uint64_t horizon,
     plan.preseed_channels.emplace_back(rng.below(channels),
                                        1 + rng.below(3));
   }
+  // The injector rejects invalid plans outright, so a generator bug here
+  // (unsorted script, orphaned recover) must fail at sampling time with a
+  // clear blame line, not deep inside a fuzz campaign.
+  COLEX_ENSURES(plan.validate().empty());
   return plan;
 }
 

@@ -78,7 +78,24 @@ void shrink_faults(Ctx& ctx, FuzzCase& cur, CaseResult& cur_result) {
   ddmin_list(ctx, cur, cur_result, cur.faults.script,
              [](const FuzzCase& base, const std::vector<sim::ScriptedFault>& kept) {
                FuzzCase cand = base;
-               cand.faults.script = kept;
+               // A ddmin chunk can remove a crash while keeping its recover;
+               // FaultPlan::validate() rejects such orphans, which would
+               // abort the whole shrink inside the injector. Pruning them
+               // keeps every candidate runnable and is itself a strict
+               // shrink of the script.
+               cand.faults.script.clear();
+               cand.faults.script.reserve(kept.size());
+               std::vector<sim::NodeId> crashed;
+               for (const sim::ScriptedFault& f : kept) {
+                 if (f.kind == sim::FaultKind::crash) {
+                   crashed.push_back(f.node);
+                 } else if (f.kind == sim::FaultKind::recover &&
+                            std::find(crashed.begin(), crashed.end(),
+                                      f.node) == crashed.end()) {
+                   continue;
+                 }
+                 cand.faults.script.push_back(f);
+               }
                return cand;
              });
   ddmin_list(ctx, cur, cur_result, cur.faults.preseed_channels,

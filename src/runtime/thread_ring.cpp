@@ -212,15 +212,16 @@ void ThreadRing::broadcast_stop() {
 }
 
 void ThreadRing::record_progress_sample(double elapsed_ms) {
+  const std::uint64_t consumed = consumed_.load();
   std::ostringstream os;
   os << "t=" << static_cast<std::uint64_t>(elapsed_ms)
-     << "ms sent=" << sent_.load() << " consumed=" << consumed_.load()
+     << "ms sent=" << sent_.load() << " consumed=" << consumed
      << " idle=" << idle_.load()
      << " awaiting-recovery=" << awaiting_recovery_.load()
      << " finished=" << finished_.load();
-  std::lock_guard<std::mutex> lock(progress_mutex_);
-  progress_.push_back(os.str());
-  if (progress_.size() > kProgressSamples) progress_.pop_front();
+  // The consumed count is the progress indicator: it moves on every pulse
+  // absorbed anywhere in the fabric, so a flat tail means a genuine stall.
+  progress_.record(consumed, os.str());
 }
 
 void ThreadRing::publish_metrics() const {
@@ -318,22 +319,41 @@ std::string ThreadRing::dump() const {
     const auto& node = nodes_[v];
     std::uint64_t p0 = 0;
     std::uint64_t p1 = 0;
-    {
-      std::lock_guard<std::mutex> lock(node.mutex);
-      p0 = node.pending[0];
-      p1 = node.pending[1];
+    std::uint64_t sent = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t acked = 0;
+    bool crashed = false;
+    // Epoch fence: a watchdog fire can race a crash()/recover() swapping the
+    // node's incarnation. Take the epoch before the counter snapshot and
+    // re-check it afterwards — a snapshot whose fence moved straddles two
+    // incarnations (e.g. pending already cleared, CRASHED not yet visible)
+    // and is retried. crash() and recover() flip state under node.mutex, so
+    // a snapshot with matching fences is coherent with one incarnation.
+    for (;;) {
+      const std::uint64_t fence = node.crash_epoch.load();
+      {
+        std::lock_guard<std::mutex> lock(node.mutex);
+        p0 = node.pending[0];
+        p1 = node.pending[1];
+        sent = node.sent.load();
+        consumed = node.consumed.load();
+        crashed = node.crashed.load();
+        epoch = node.crash_epoch.load();
+        acked = node.acked_epoch.load();
+      }
+      if (epoch == fence) break;
     }
     os << "  node " << v << ": pending[p0]=" << p0 << " pending[p1]=" << p1
-       << " sent=" << node.sent.load() << " consumed=" << node.consumed.load()
-       << (node.crashed.load() ? " CRASHED" : "")
-       << " epoch=" << node.crash_epoch.load()
-       << " acked=" << node.acked_epoch.load() << "\n";
+       << " sent=" << sent << " consumed=" << consumed
+       << (crashed ? " CRASHED" : "") << " epoch=" << epoch
+       << " acked=" << acked << "\n";
   }
   {
-    std::lock_guard<std::mutex> lock(progress_mutex_);
-    if (!progress_.empty()) {
-      os << "  progress history (last " << progress_.size() << " samples):\n";
-      for (const auto& sample : progress_) os << "    " << sample << "\n";
+    const std::vector<std::string> history = progress_.history();
+    if (!history.empty()) {
+      os << "  progress history (last " << history.size() << " samples):\n";
+      for (const auto& sample : history) os << "    " << sample << "\n";
     }
   }
   if (metrics_ != nullptr) {

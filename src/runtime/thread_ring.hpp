@@ -36,12 +36,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "runtime/progress.hpp"
 #include "sim/types.hpp"
 #include "util/contracts.hpp"
 
@@ -226,8 +226,7 @@ class ThreadRing {
   // Last-N progress snapshots from the monitor loop, for the stall
   // post-mortem: "was the run dead all along or did it die at t=X?".
   static constexpr std::size_t kProgressSamples = 16;
-  mutable std::mutex progress_mutex_;
-  std::deque<std::string> progress_;
+  ProgressTracker progress_{kProgressSamples};
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> consumed_{0};
   std::atomic<std::size_t> idle_{0};

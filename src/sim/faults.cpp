@@ -1,6 +1,50 @@
 #include "sim/faults.hpp"
 
+#include <algorithm>
+
 namespace colex::sim {
+
+std::string FaultPlan::validate() const {
+  auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  auto profile_ok = [&prob_ok](const ChannelFaultProfile& p) {
+    return prob_ok(p.drop_prob) && prob_ok(p.duplicate_prob) &&
+           prob_ok(p.spurious_prob);
+  };
+  if (!profile_ok(all_channels)) {
+    return "all_channels probability outside [0, 1]";
+  }
+  for (const auto& [channel, profile] : channel_overrides) {
+    if (!profile_ok(profile)) {
+      return "override for channel " + std::to_string(channel) +
+             ": probability outside [0, 1]";
+    }
+  }
+  std::uint64_t prev_at = 0;
+  std::vector<NodeId> crashed;  // nodes with a crash scripted so far
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const ScriptedFault& fault = script[i];
+    if (fault.at_event < prev_at) {
+      return "script entry " + std::to_string(i) +
+             " not sorted by at_event (fire_scripted scans once, in order)";
+    }
+    prev_at = fault.at_event;
+    if (fault.kind == FaultKind::corrupt) {
+      return "script entry " + std::to_string(i) +
+             " uses corrupt, which is not scriptable (use a StateCorruptor "
+             "or preseed_channels)";
+    }
+    if (fault.kind == FaultKind::crash) {
+      crashed.push_back(fault.node);
+    } else if (fault.kind == FaultKind::recover &&
+               std::find(crashed.begin(), crashed.end(), fault.node) ==
+                   crashed.end()) {
+      return "script entry " + std::to_string(i) + " recovers node " +
+             std::to_string(fault.node) +
+             " with no prior crash for it in the plan";
+    }
+  }
+  return {};
+}
 
 const char* to_string(FaultKind kind) {
   switch (kind) {

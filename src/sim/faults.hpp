@@ -103,6 +103,18 @@ struct FaultPlan {
   /// pre-seeded before the run starts.
   std::vector<std::pair<std::size_t, std::size_t>> preseed_channels;
 
+  /// Structural validation, independent of any network. A plan is valid iff
+  /// the script is sorted by at_event (fire_scripted requires it), every
+  /// probability lies in [0, 1], no scripted entry names the un-scriptable
+  /// FaultKind::corrupt, and every scripted recover targets a node with a
+  /// prior scripted crash — a recover that cannot possibly match a crash is
+  /// a plan construction bug, not an adversary choice (wrong-*lifecycle*
+  /// requests at runtime remain documented no-ops). Returns an empty string
+  /// when valid, else a one-line diagnostic. FaultInjector refuses invalid
+  /// plans with util::ContractViolation; the soak churn engine and the fuzz
+  /// generators assert validity at construction time.
+  std::string validate() const;
+
   /// True iff the plan can provably never act: the injector then guarantees
   /// a run bit-identical to one without it.
   bool trivial() const {
@@ -187,6 +199,10 @@ class FaultInjector {
         recover_factory_(std::move(recover_factory)),
         corrupt_state_(std::move(corrupt_state)),
         rng_(plan_.seed) {
+    const std::string diag = plan_.validate();
+    if (!diag.empty()) {
+      throw util::ContractViolation("FaultPlan rejected: " + diag);
+    }
     for (const auto& fault : plan_.script) {
       if (fault.kind == FaultKind::recover) {
         COLEX_EXPECTS(recover_factory_ != nullptr);

@@ -1,0 +1,149 @@
+#include "svc/supervisor.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "co/alg1.hpp"
+#include "co/alg2.hpp"
+#include "co/roles.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "util/contracts.hpp"
+
+namespace colex::svc {
+
+namespace {
+
+std::unique_ptr<sim::PulseAutomaton> fresh_node(SoakAlg alg,
+                                                std::uint64_t id) {
+  if (alg == SoakAlg::alg1) return std::make_unique<co::Alg1Stabilizing>(id);
+  return std::make_unique<co::Alg2Terminating>(id);
+}
+
+co::Role role_of(const sim::PulseNetwork& net, SoakAlg alg, sim::NodeId v) {
+  return alg == SoakAlg::alg1
+             ? net.automaton_as<co::Alg1Stabilizing>(v).role()
+             : net.automaton_as<co::Alg2Terminating>(v).role();
+}
+
+}  // namespace
+
+AttemptResult run_attempt(const RingSpec& spec) {
+  COLEX_EXPECTS(!spec.ids.empty());
+  COLEX_EXPECTS(spec.max_events > 0);
+  const std::size_t n = spec.ids.size();
+  const std::uint64_t id_max = spec.id_max();
+
+  sim::PulseNetwork net = sim::PulseNetwork::ring(n);
+  for (sim::NodeId v = 0; v < n; ++v) {
+    net.set_automaton(v, fresh_node(spec.alg, spec.ids[v]));
+  }
+  sim::FaultyNetwork faulty(
+      std::move(net), spec.faults,
+      [alg = spec.alg, &spec](sim::NodeId v) {
+        return fresh_node(alg, spec.ids[v]);
+      });
+
+  // The intended output: exactly one Leader, it holds the max ID, everyone
+  // else decided Non-Leader — and for the terminating algorithm, everyone
+  // terminated. Per-event invariant predicates are deliberately NOT wired
+  // in: under faults the algorithms legitimately traverse states the
+  // fault-free invariants forbid (a spurious pulse pushes counters past
+  // IDmax), so only the final output is judged; clean-attempt escalation
+  // below restores full strictness where the model actually promises it.
+  const auto correct = [&spec, n, id_max](const sim::PulseNetwork& final_net) {
+    std::size_t leaders = 0;
+    bool max_is_leader = false;
+    for (sim::NodeId v = 0; v < n; ++v) {
+      const co::Role role = role_of(final_net, spec.alg, v);
+      if (role == co::Role::undecided) return false;
+      if (role == co::Role::leader) {
+        ++leaders;
+        max_is_leader = max_is_leader || spec.ids[v] == id_max;
+      }
+      if (spec.alg == SoakAlg::alg2 &&
+          !final_net.automaton(v).terminated()) {
+        return false;
+      }
+    }
+    return leaders == 1 && max_is_leader;
+  };
+
+  sim::RunOptions opts;
+  opts.max_events = spec.max_events;
+  sim::RandomScheduler scheduler(spec.schedule_seed);
+  const bool clean = spec.faults.trivial();
+  auto run = faulty.run(scheduler, opts, /*safety=*/{}, correct);
+
+  AttemptResult a;
+  a.outcome = run.outcome;
+  a.diagnosis = std::move(run.diagnosis);
+  a.tallies = run.tallies;
+  a.report = run.report;
+  a.pulses = run.report.sent;
+  a.pulse_bound = spec.pulse_bound();
+  a.within_bound = a.pulses <= a.pulse_bound;
+
+  std::size_t leaders = 0;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    if (role_of(faulty.network(), spec.alg, v) == co::Role::leader) {
+      ++leaders;
+      a.leader_is_max = a.leader_is_max || spec.ids[v] == id_max;
+    }
+  }
+  a.unique_leader = leaders == 1;
+
+  if (a.outcome == sim::FaultOutcome::recovered_correct && !a.within_bound) {
+    // The hard invariant: no election completes past the Theorem 1 bound.
+    // Under faults an excess is the adversary's doing (one duplicate breaks
+    // Algorithm 2's exact n(2·IDmax+1) budget) — demote and retry. On a
+    // clean run the bound is the theorem's promise, so an excess is a bug.
+    if (clean) {
+      a.outcome = sim::FaultOutcome::safety_violated;
+      a.diagnosis = "clean run exceeded the Theorem 1 pulse bound: " +
+                    std::to_string(a.pulses) + " > " +
+                    std::to_string(a.pulse_bound);
+    } else {
+      a.outcome = sim::FaultOutcome::stalled;
+      a.diagnosis = "correct output but pulse bound exceeded under faults (" +
+                    std::to_string(a.pulses) + " > " +
+                    std::to_string(a.pulse_bound) + "); retrying";
+    }
+  } else if (clean && a.outcome == sim::FaultOutcome::stalled) {
+    // A clean election settling without the intended output cannot be
+    // blamed on any adversary: escalate to fatal.
+    a.outcome = sim::FaultOutcome::safety_violated;
+    a.diagnosis = "clean attempt settled without a valid election: " +
+                  a.diagnosis;
+  }
+  return a;
+}
+
+ElectionReport run_supervised(const ChurnEngine& churn, std::uint64_t election,
+                              const SupervisorPolicy& policy) {
+  COLEX_EXPECTS(policy.max_attempts >= 1);
+  COLEX_EXPECTS(policy.clean_after_attempts < policy.max_attempts);
+  ElectionReport out;
+  for (unsigned attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    const RingSpec spec =
+        churn.spec(election, attempt, policy.clean_after_attempts);
+    const AttemptResult a = run_attempt(spec);
+    out.attempts = attempt + 1;
+    out.final_outcome = a.outcome;
+    out.diagnosis = a.diagnosis;
+    out.pulses = a.pulses;
+    out.pulse_bound = a.pulse_bound;
+    out.faults_applied += a.tallies.total();
+    out.events_consumed += a.report.deliveries;
+    if (a.outcome == sim::FaultOutcome::recovered_correct) {
+      out.completed = true;
+      return out;
+    }
+    if (a.outcome == sim::FaultOutcome::safety_violated) return out;
+    // stalled or diverged: abandon this ring, rebuild, re-elect.
+  }
+  out.abandoned = true;
+  return out;
+}
+
+}  // namespace colex::svc

@@ -1,0 +1,82 @@
+// Per-ring supervision for the soak harness: run one election attempt under
+// its churn plan, classify the ending via sim::FaultOutcome, and drive the
+// abandon → rebuild → re-elect retry loop until the election completes or
+// the attempt budget runs out.
+//
+// The service-level contract enforced here, per election:
+//
+//  * Unique-leader safety — a completed election has exactly one Leader,
+//    and it is the max-ID node. A CLEAN attempt (trivial fault plan) that
+//    settles any other way is a genuine algorithm bug and classifies as
+//    safety_violated, which is fatal: no retry can unsee it.
+//  * Theorem 1 pulse bound — every completed election's pulse count is
+//    checked against n(2·IDmax+1). A faulty attempt may legitimately exceed
+//    it (a single duplicate breaks Algorithm 2's exact budget), so a
+//    bound-exceeding settle is demoted to `stalled` and retried; on a clean
+//    attempt the same excess is a safety violation. A completed election
+//    therefore always passed the bound check.
+//
+// Retries respawn through ChurnEngine::spec(election, attempt, ...): fresh
+// ring, exponentially decayed churn, doubled event budget, and a provably
+// clean plan from `clean_after_attempts` on — so any policy whose attempt
+// budget reaches the clean rung guarantees termination of the loop with
+// either recovered_correct or (on a real bug) safety_violated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/faults.hpp"
+#include "svc/churn.hpp"
+
+namespace colex::svc {
+
+struct SupervisorPolicy {
+  /// Total attempts per election: the first try plus up to
+  /// max_attempts - 1 retries.
+  unsigned max_attempts = 4;
+  /// Attempts >= this index run with a trivial fault plan (the last rung of
+  /// the backoff ladder). Must be < max_attempts for the self-healing
+  /// guarantee to hold.
+  unsigned clean_after_attempts = 2;
+};
+
+/// One classified attempt on one RingSpec.
+struct AttemptResult {
+  sim::FaultOutcome outcome = sim::FaultOutcome::recovered_correct;
+  std::string diagnosis;
+  std::uint64_t pulses = 0;
+  std::uint64_t pulse_bound = 0;
+  bool within_bound = false;   ///< pulses <= pulse_bound
+  bool unique_leader = false;  ///< exactly one Leader role
+  bool leader_is_max = false;  ///< and it holds the max ID
+  sim::FaultTallies tallies;
+  sim::RunReport report;
+};
+
+/// Runs one attempt of `spec` to completion (or event-budget exhaustion)
+/// under a RandomScheduler seeded from the spec. Pure function of the spec.
+/// Clean-attempt escalation (stalled → safety_violated) and the pulse-bound
+/// demotion described above are already applied to `outcome`.
+AttemptResult run_attempt(const RingSpec& spec);
+
+/// Final, supervised outcome of one election.
+struct ElectionReport {
+  sim::FaultOutcome final_outcome = sim::FaultOutcome::recovered_correct;
+  std::string diagnosis;       ///< of the final attempt
+  unsigned attempts = 0;       ///< attempts actually run (>= 1)
+  bool completed = false;      ///< final outcome is recovered_correct
+  bool abandoned = false;      ///< attempt budget exhausted without success
+  std::uint64_t pulses = 0;            ///< of the final attempt
+  std::uint64_t pulse_bound = 0;       ///< of the final attempt's ring
+  std::uint64_t faults_applied = 0;    ///< across all attempts
+  std::uint64_t events_consumed = 0;   ///< deliveries across all attempts
+};
+
+/// Supervises election number `election` of the engine's slot: attempt →
+/// classify → retry with churn backoff, stopping on success, on a safety
+/// violation, or after policy.max_attempts attempts (abandoned).
+ElectionReport run_supervised(const ChurnEngine& churn, std::uint64_t election,
+                              const SupervisorPolicy& policy);
+
+}  // namespace colex::svc

@@ -713,5 +713,90 @@ TEST(FaultTrace, ProbabilisticPlansAreReproducibleFromSeed) {
   EXPECT_NE(a, c);  // a different fault seed is a different execution
 }
 
+// --- FaultPlan::validate ---------------------------------------------------
+//
+// Structural validation, shared by every producer of plans (the soak
+// harness's churn engine, qa's generators) and enforced at the injector's
+// door: a malformed plan is a loud ContractViolation at construction, never
+// a silently ignored script entry mid-run.
+
+TEST(FaultPlanValidate, AcceptsWellFormedPlans) {
+  EXPECT_EQ(FaultPlan{}.validate(), "");
+
+  FaultPlan plan;
+  plan.all_channels.drop_prob = 0.25;
+  sim::ScriptedFault crash;
+  crash.kind = FaultKind::crash;
+  crash.at_event = 3;
+  crash.node = 1;
+  sim::ScriptedFault recover;
+  recover.kind = FaultKind::recover;
+  recover.at_event = 9;
+  recover.node = 1;
+  plan.script = {crash, recover};
+  EXPECT_EQ(plan.validate(), "");
+
+  // Deliberately loose: a second recover of an already-recovered node is a
+  // no-op at run time, not a structural error — only a recover with no
+  // prior crash AT ALL for that node is rejected.
+  plan.script.push_back(recover);
+  plan.script.back().at_event = 12;
+  EXPECT_EQ(plan.validate(), "");
+}
+
+TEST(FaultPlanValidate, RejectsRecoverWithoutPriorCrash) {
+  FaultPlan plan;
+  sim::ScriptedFault recover;
+  recover.kind = FaultKind::recover;
+  recover.at_event = 5;
+  recover.node = 2;
+  plan.script = {recover};
+  const std::string diag = plan.validate();
+  EXPECT_NE(diag.find("recovers node 2"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("no prior crash"), std::string::npos) << diag;
+
+  // The injector refuses the plan outright instead of ignoring the entry.
+  const auto ids = small_ids(3);
+  EXPECT_THROW(FaultyNetwork(alg1_net(ids), plan,
+                             [&ids](sim::NodeId v) {
+                               return std::make_unique<co::Alg1Stabilizing>(
+                                   ids[v]);
+                             }),
+               util::ContractViolation);
+}
+
+TEST(FaultPlanValidate, RejectsUnsortedScriptAndCorruptEntries) {
+  FaultPlan unsorted;
+  sim::ScriptedFault early;
+  early.kind = FaultKind::drop;
+  early.at_event = 2;
+  early.channel = 0;
+  sim::ScriptedFault late = early;
+  late.at_event = 9;
+  unsorted.script = {late, early};
+  EXPECT_NE(unsorted.validate().find("not sorted"), std::string::npos);
+  EXPECT_THROW(FaultyNetwork(alg1_net(small_ids(3)), unsorted),
+               util::ContractViolation);
+
+  FaultPlan corrupt;
+  sim::ScriptedFault entry;
+  entry.kind = FaultKind::corrupt;
+  entry.at_event = 1;
+  corrupt.script = {entry};
+  EXPECT_NE(corrupt.validate().find("not scriptable"), std::string::npos);
+}
+
+TEST(FaultPlanValidate, RejectsOutOfRangeProbabilities) {
+  FaultPlan plan;
+  plan.all_channels.duplicate_prob = 1.5;
+  EXPECT_NE(plan.validate(), "");
+
+  FaultPlan override_plan;
+  sim::ChannelFaultProfile bad;
+  bad.spurious_prob = -0.1;
+  override_plan.channel_overrides.emplace_back(0, bad);
+  EXPECT_NE(override_plan.validate(), "");
+}
+
 }  // namespace
 }  // namespace colex

@@ -18,6 +18,9 @@
 #include <thread>
 
 #include "runtime/blocking_algs.hpp"
+#include "runtime/progress.hpp"
+#include "sim/faults.hpp"
+#include "util/contracts.hpp"
 
 namespace colex::rt {
 namespace {
@@ -297,6 +300,151 @@ TEST(ThreadRingMetrics, StallDumpEmbedsProgressHistoryAndSnapshot) {
     EXPECT_NE(result.stall_dump.find("rt.sent"), std::string::npos);
     EXPECT_EQ(metrics.counter("rt.injected").value(), 1u);
   }
+}
+
+// --- Double-fault interleavings --------------------------------------------
+//
+// Single faults are covered above; these scripts overlap two faults in time
+// and classify each ending through the simulator's shared FaultOutcome
+// taxonomy (sim::classify_outcome), so the threaded runtime and the
+// discrete-event harness speak the same language about what a fault did.
+// The scripts race the workers for real, so the assertions are the
+// timing-independent ones: the run always ends (completed or post-mortem),
+// the fault ledger balances, and the classification is internally
+// consistent — never an unclassifiable ending.
+
+sim::FaultOutcome classify_thread_result(const ThreadRunResult& result,
+                                         std::string* diagnosis = nullptr) {
+  // Bridge the threaded result into the taxonomy's inputs: a watchdog abort
+  // is the thread-side analogue of exhausting the event budget, and the
+  // intended output is node 1 (ID 11) as the unique leader.
+  sim::RunReport report;
+  report.quiescent = result.completed;
+  report.hit_event_limit = !result.completed;
+  const bool output_correct = result.completed && result.leader_count == 1 &&
+                              result.leader.has_value() &&
+                              *result.leader == 1u;
+  return sim::classify_outcome(report, /*safety_diag=*/"", output_correct,
+                               diagnosis);
+}
+
+// A second node crashes while the first is mid-recovery. Erased state on
+// two nodes can re-converge, settle on a wrong leader, or livelock on a
+// surplus pulse; all three classify cleanly, and the crash/recovery ledger
+// must record both cycles whatever the interleaving.
+TEST(ThreadRingDoubleFaults, CrashDuringAnotherNodesRecovery) {
+  const auto result = run_on_threads(kIds, {}, ThreadAlg::alg1,
+                                     /*timeout_ms=*/800,
+                                     [](ThreadRing& ring) {
+                                       brief_sleep(1);
+                                       ring.crash(2);
+                                       ring.recover(2);
+                                       ring.crash(0);  // lands mid-recovery
+                                       brief_sleep(5);
+                                       ring.recover(0);
+                                     });
+  EXPECT_EQ(result.crashes, 2u);
+  EXPECT_EQ(result.recoveries, 2u);
+  std::string diagnosis;
+  const sim::FaultOutcome outcome = classify_thread_result(result, &diagnosis);
+  EXPECT_NE(outcome, sim::FaultOutcome::safety_violated) << diagnosis;
+  if (outcome == sim::FaultOutcome::diverged) {
+    EXPECT_FALSE(result.completed);
+    EXPECT_FALSE(result.stall_dump.empty());
+    EXPECT_NE(result.stall_dump.find("crashes=2"), std::string::npos);
+  } else {
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(result.stall_dump.empty());
+  }
+}
+
+// The same node crashes and recovers twice back to back. Each recovery
+// erases state and re-runs from scratch; the second cycle must behave like
+// the first (no stale incarnation leaks through the epoch fence), and the
+// ledger counts both.
+TEST(ThreadRingDoubleFaults, BackToBackCrashRecoverSameNode) {
+  const auto result = run_on_threads(kIds, {}, ThreadAlg::alg1,
+                                     /*timeout_ms=*/800,
+                                     [](ThreadRing& ring) {
+                                       brief_sleep(1);
+                                       ring.crash(2);
+                                       ring.recover(2);
+                                       brief_sleep(2);
+                                       ring.crash(2);
+                                       ring.recover(2);
+                                     });
+  EXPECT_EQ(result.crashes, 2u);
+  EXPECT_EQ(result.recoveries, 2u);
+  std::string diagnosis;
+  const sim::FaultOutcome outcome = classify_thread_result(result, &diagnosis);
+  EXPECT_NE(outcome, sim::FaultOutcome::safety_violated) << diagnosis;
+  if (outcome != sim::FaultOutcome::diverged) {
+    // Settled: the twice-recovered worker restarted at most twice, and
+    // every node produced a decided outcome.
+    EXPECT_LE(result.outcomes[2].restarts, 2u);
+  } else {
+    EXPECT_NE(result.stall_dump.find("recoveries=2"), std::string::npos);
+  }
+}
+
+// A storm of spurious pulses concentrated on one channel. With n + 1
+// injections the livelock is guaranteed, not probabilistic: each node
+// absorbs at most one pulse ever, so at least one surplus pulse circulates
+// forever and only the watchdog can end the run — the ending must classify
+// as diverged, with the post-mortem recording the full storm.
+TEST(ThreadRingDoubleFaults, SpuriousStormOnOneChannelDiverges) {
+  const std::size_t storm = kIds.size() + 1;
+  const auto result = run_on_threads(
+      kIds, {}, ThreadAlg::alg1, /*timeout_ms=*/600,
+      [storm](ThreadRing& ring) {
+        for (std::size_t i = 0; i < storm; ++i) {
+          ring.inject_pulse(0, sim::Port::p0);
+        }
+      });
+  std::string diagnosis;
+  const sim::FaultOutcome outcome = classify_thread_result(result, &diagnosis);
+  EXPECT_EQ(outcome, sim::FaultOutcome::diverged) << diagnosis;
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.stall_dump.find("injected=5"), std::string::npos);
+}
+
+// --- ProgressTracker (the watchdog's history, now reusable) ---------------
+
+TEST(ProgressTracker, KeepsLastDepthSamplesInOrder) {
+  ProgressTracker tracker(3);
+  EXPECT_EQ(tracker.depth(), 3u);
+  EXPECT_EQ(tracker.size(), 0u);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    tracker.record(i, "sample " + std::to_string(i));
+  }
+  EXPECT_EQ(tracker.size(), 3u);
+  const auto history = tracker.history();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0], "sample 3");  // oldest retained first
+  EXPECT_EQ(history[2], "sample 5");
+}
+
+TEST(ProgressTracker, StalledTailDetectsFlatWindowOnly) {
+  ProgressTracker tracker(4);
+  tracker.record(7, "a");
+  EXPECT_FALSE(tracker.stalled_tail(2));  // not enough samples yet
+  tracker.record(7, "b");
+  EXPECT_TRUE(tracker.stalled_tail(2));  // two identical values
+  tracker.record(8, "c");
+  EXPECT_FALSE(tracker.stalled_tail(2));  // progress resumed
+  EXPECT_FALSE(tracker.stalled_tail(3));  // window spans the progress step
+  tracker.record(8, "d");
+  EXPECT_TRUE(tracker.stalled_tail(2));
+  EXPECT_FALSE(tracker.stalled_tail(4));
+}
+
+TEST(ProgressTracker, RejectsDegenerateDepthAndWindow) {
+  EXPECT_THROW(ProgressTracker(0), util::ContractViolation);
+  ProgressTracker tracker(2);
+  tracker.record(1, "x");
+  tracker.record(1, "y");
+  EXPECT_THROW(tracker.stalled_tail(0), util::ContractViolation);
+  EXPECT_THROW(tracker.stalled_tail(3), util::ContractViolation);
 }
 
 }  // namespace
