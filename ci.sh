@@ -9,6 +9,7 @@
 #   ./ci.sh --smoke     default build + full ctest + lint + soak smoke
 #   ./ci.sh lint        just the static-analysis stage
 #   ./ci.sh soak-smoke  just the soak gate on the default build
+#   ./ci.sh coro-smoke  just the coroutine-runtime gate on the default build
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,8 +19,9 @@ case "$mode" in
   smoke|--smoke) mode=smoke ;;
   lint|--lint) mode=lint ;;
   soak-smoke|--soak-smoke) mode=soak-smoke ;;
+  coro-smoke|--coro-smoke) mode=coro-smoke ;;
   *)
-    echo "usage: $0 [all|--smoke|lint|soak-smoke]" >&2
+    echo "usage: $0 [all|--smoke|lint|soak-smoke|coro-smoke]" >&2
     exit 2
     ;;
 esac
@@ -80,6 +82,21 @@ run_soak_smoke() {
   echo "$summary" | grep -q '"ok":true'
 }
 
+# Coroutine-runtime smoke: bench_e16_coro --smoke runs a 10^4-node election
+# on the coroutine executor next to a ThreadRing capacity sweep and writes
+# BENCH_E16.json; the gates checked on the artifact are >=2x ThreadRing's
+# max ring size AND >=2x its nodes/sec, with every election landing the
+# exact paper pulse count.
+run_coro_smoke() {
+  local dir="$1" label="$2"
+  echo "==> [$label] coro smoke: bench_e16_coro --smoke"
+  cmake --build "$dir" -j "$jobs" --target bench_e16_coro >/dev/null
+  (cd "$dir" && ./bench/bench_e16_coro --smoke)
+  grep -q '"gate_speed_ok": true' "$dir/BENCH_E16.json"
+  grep -q '"gate_capacity_ok": true' "$dir/BENCH_E16.json"
+  grep -q '"gate_ok": true' "$dir/BENCH_E16.json"
+}
+
 if [ "$mode" = lint ]; then
   run_lint
   echo "==> lint green"
@@ -93,6 +110,13 @@ if [ "$mode" = soak-smoke ]; then
   exit 0
 fi
 
+if [ "$mode" = coro-smoke ]; then
+  cmake -B build -S . -DCOLEX_WERROR=ON >/dev/null
+  run_coro_smoke build default
+  echo "==> coro smoke green"
+  exit 0
+fi
+
 # 1. Default configuration: full tier-1 suite. -DCOLEX_WERROR=ON is the
 #    CMake default; pinned here so a cached build tree can never drop it.
 run_config build default "" -DCOLEX_WERROR=ON
@@ -103,12 +127,16 @@ run_lint
 # 3. Soak smoke on the default build (repeated under the sanitizers below).
 run_soak_smoke build default
 
+# 4. Coroutine-runtime smoke on the default build: the executor must beat
+#    ThreadRing on both capacity and nodes/sec even in the CI-sized run.
+run_coro_smoke build default
+
 if [ "$mode" = smoke ]; then
-  echo "==> smoke green (default build + ctest + lint + soak smoke)"
+  echo "==> smoke green (default build + ctest + lint + soak + coro smoke)"
   exit 0
 fi
 
-# 4. ASan + UBSan: full suite (memory errors and UB anywhere), then the
+# 5. ASan + UBSan: full suite (memory errors and UB anywhere), then the
 #    soak smoke on the sanitized binaries.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
@@ -118,26 +146,27 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
 run_soak_smoke build-asan asan+ubsan
 
-# 5. TSan: the tests that exercise real threads (ThreadRing runtime,
+# 6. TSan: the tests that exercise real threads (ThreadRing runtime,
 #    automaton host, the threaded fault/chaos harness, the parallel
-#    schedule explorer, and the sharded soak driver — including the metrics
-#    layer's per-subtree registry ownership, exercised by
-#    test_parallel_explore, test_runtime_faults, and test_svc_soak), then
-#    the soak smoke with real data races on the line.
+#    schedule explorer, the sharded soak driver, and the coroutine
+#    executor's SPSC channels, Chase-Lev deques, and sleep/wake protocol
+#    under multi-worker stealing — including the metrics layer's
+#    per-subtree registry ownership), then the soak smoke with real data
+#    races on the line.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 run_config build-tsan tsan \
-  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore|test_obs_metrics|test_obs_export|test_svc_soak" \
+  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore|test_obs_metrics|test_obs_export|test_svc_soak|test_coro_runtime" \
   -DCOLEX_TSAN=ON
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 run_soak_smoke build-tsan tsan
 
-# 6. Bench smoke: the n=3 exhaustive sweep must finish, agree across both
+# 7. Bench smoke: the n=3 exhaustive sweep must finish, agree across both
 #    exploration engines, and show the snapshot engine >= 2x over replay
 #    (it writes BENCH_E12.json for the perf trail).
 echo "==> [bench-smoke] bench_e12_exhaustive --smoke"
 (cd build && ./bench/bench_e12_exhaustive --smoke)
 
-# 7. Observability smoke: E1 exports an instrumented trace, and the
+# 8. Observability smoke: E1 exports an instrumented trace, and the
 #    inspector must load it, audit conservation, and confirm the Theorem 1
 #    pulse bound from the recorded stream alone.
 echo "==> [obs-smoke] bench_e1_theorem1 --smoke + colex-inspect check"
@@ -147,7 +176,7 @@ echo "==> [obs-smoke] bench_e1_theorem1 --smoke + colex-inspect check"
   && ./tools/colex-inspect chrome TRACE_E1.jsonl TRACE_E1.chrome.json \
   && ./tools/colex-inspect diff TRACE_E1.jsonl TRACE_E1.jsonl >/dev/null)
 
-# 8. Fuzz smoke (on the sanitized build, so every generated schedule and
+# 9. Fuzz smoke (on the sanitized build, so every generated schedule and
 #    fault plan also runs under ASan+UBSan): a fixed-seed clean+faulty
 #    campaign must survive with no counterexample; the planted bound defect
 #    must be found, shrink to a minimal repro that replays deterministically

@@ -8,7 +8,8 @@
 //   colex::lb         lower-bound machinery (solitude patterns)
 //   colex::colib      universal content-oblivious computation (token bus)
 //   colex::baselines  classical content-carrying elections
-//   colex::rt         real-thread runtime
+//   colex::rt         real-thread runtime + the PulsePort transcription concept
+//   colex::coro       C++20-coroutine executor (million-node rings)
 //   colex::util       RNG, statistics, ID generators, tables
 #pragma once
 
@@ -24,8 +25,10 @@
 #include "colib/bus.hpp"
 #include "colib/composed.hpp"
 #include "colib/framing.hpp"
+#include "coro/run.hpp"
 #include "lb/solitude.hpp"
 #include "runtime/automaton_host.hpp"
+#include "runtime/port.hpp"
 #include "runtime/blocking_algs.hpp"
 #include "runtime/thread_ring.hpp"
 #include "sim/network.hpp"

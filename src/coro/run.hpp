@@ -1,0 +1,46 @@
+// Drop-in coroutine-runtime counterpart of rt::run_on_threads: same
+// algorithms (the template transcriptions in runtime/blocking_algs.hpp),
+// same outcome/result shape, executed as n coroutines on a few worker
+// threads instead of n OS threads — the difference between rings of a few
+// thousand nodes and rings of a million.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coro/executor.hpp"
+#include "runtime/blocking_algs.hpp"
+
+namespace colex::coro {
+
+struct CoroRunOptions {
+  std::size_t workers = 1;        ///< executor worker threads
+  std::uint64_t timeout_ms = 30'000;  ///< stall watchdog budget
+  obs::Registry* metrics = nullptr;   ///< merged per-worker registries
+};
+
+/// Mirrors rt::ThreadRunResult (minus the fault-hook counters: the
+/// coroutine runtime runs clean fabrics; fault injection lives on sim and
+/// ThreadRing).
+struct CoroRunResult {
+  std::vector<rt::BlockingOutcome> outcomes;
+  std::uint64_t pulses = 0;      ///< total pulses sent on the fabric
+  bool completed = false;        ///< quiescence or natural termination
+  std::size_t leader_count = 0;
+  std::optional<sim::NodeId> leader;
+  /// Non-empty iff the watchdog fired (`completed == false`).
+  std::string stall_dump;
+  ExecStats stats;               ///< scheduler telemetry (always on)
+};
+
+/// Runs one election over n = ids.size() nodes on the coroutine executor.
+/// `port_flips` must be empty for the oriented algorithms (same contract
+/// as run_on_threads).
+CoroRunResult run_on_coro(const std::vector<std::uint64_t>& ids,
+                          const std::vector<bool>& port_flips,
+                          rt::ThreadAlg alg,
+                          const CoroRunOptions& options = {});
+
+}  // namespace colex::coro

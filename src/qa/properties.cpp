@@ -9,6 +9,7 @@
 #include "co/election.hpp"
 #include "co/invariants.hpp"
 #include "co/oriented.hpp"
+#include "coro/run.hpp"
 #include "runtime/blocking_algs.hpp"
 #include "sim/explore.hpp"
 #include "sim/faults.hpp"
@@ -393,6 +394,24 @@ std::string check_runtime_agreement(const FuzzCase& c,
       sim_run.counters.sent != exact_pulses(c)) {
     return "pulse counts: runtime " + std::to_string(threaded.pulses) +
            ", sim " + std::to_string(sim_run.counters.sent) +
+           ", paper predicts " + std::to_string(exact_pulses(c));
+  }
+  // Third substrate: the coroutine executor, with two workers so the
+  // work-stealing and sleep/wake paths are actually exercised.
+  const coro::CoroRunResult coroed =
+      coro::run_on_coro(c.ids, c.port_flips, alg, {2, timeout_ms, nullptr});
+  if (!coroed.completed) {
+    return "coro runtime did not settle: " + coroed.stall_dump;
+  }
+  if (coroed.leader_count != sim_run.leader_count) {
+    return "leader count: coro " + std::to_string(coroed.leader_count) +
+           " vs sim " + std::to_string(sim_run.leader_count);
+  }
+  if (coroed.leader != sim_run.leader) {
+    return "leader identity differs between coro runtime and sim";
+  }
+  if (coroed.pulses != exact_pulses(c)) {
+    return "pulse count: coro runtime " + std::to_string(coroed.pulses) +
            ", paper predicts " + std::to_string(exact_pulses(c));
   }
   return {};

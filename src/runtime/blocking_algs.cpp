@@ -1,156 +1,27 @@
 #include "runtime/blocking_algs.hpp"
 
-#include <algorithm>
 #include <thread>
 
 #include "util/contracts.hpp"
 
 namespace colex::rt {
-namespace {
 
-// Oriented-ring wrappers matching the paper's four methods (§3): sendCW
-// transmits on Port1; CW pulses arrive at Port0.
-struct OrientedIo {
-  NodeIo& io;
-  co::PulseCounters& k;
-
-  void send_cw() {
-    io.send(co::kCwPort);
-    ++k.sigma_cw;
-  }
-  bool recv_cw() {
-    if (!io.recv(co::kCcwPort)) return false;
-    ++k.rho_cw;
-    return true;
-  }
-  void send_ccw() {
-    io.send(co::kCcwPort);
-    ++k.sigma_ccw;
-  }
-  bool recv_ccw() {
-    if (!io.recv(co::kCwPort)) return false;
-    ++k.rho_ccw;
-    return true;
-  }
-};
-
-}  // namespace
+// The synchronous entry points instantiate the template coroutines over
+// BlockingPortAdapter, whose wait_any() blocks inside await_ready() and
+// never suspends: one resume runs the algorithm to completion on the
+// calling thread, byte-for-byte the pre-coroutine blocking behavior.
 
 BlockingOutcome run_alg1_blocking(NodeIo io, std::uint64_t id) {
-  COLEX_EXPECTS(id >= 1);
-  BlockingOutcome out;
-  out.id = id;
-  OrientedIo ring{io, out.counters};
-
-  ring.send_cw();  // line 1
-  for (;;) {       // line 2
-    if (ring.recv_cw()) {  // line 3
-      if (out.counters.rho_cw == id) {  // line 4
-        out.role = co::Role::leader;
-      } else {
-        out.role = co::Role::non_leader;
-        ring.send_cw();
-      }
-    } else if (!io.wait_any()) {
-      out.stopped = true;  // harness: network is quiescent
-      return out;
-    }
-  }
+  return drive_blocking(run_alg1(BlockingPortAdapter(io), id));
 }
 
 BlockingOutcome run_alg2_blocking(NodeIo io, std::uint64_t id) {
-  COLEX_EXPECTS(id >= 1);
-  BlockingOutcome out;
-  out.id = id;
-  OrientedIo ring{io, out.counters};
-  auto& k = out.counters;
-  bool initiated = false;
-
-  ring.send_cw();  // line 1
-  do {             // line 2
-    bool progress = false;
-    if (ring.recv_cw()) {  // lines 3-8
-      if (k.rho_cw == id) {
-        out.role = co::Role::leader;
-      } else {
-        out.role = co::Role::non_leader;
-        ring.send_cw();
-      }
-      progress = true;
-    }
-    if (k.rho_cw >= id) {  // lines 9-13
-      if (k.sigma_ccw == 0) {
-        ring.send_ccw();
-        progress = true;
-      }
-      if (ring.recv_ccw()) {
-        if (k.rho_ccw != id) ring.send_ccw();
-        progress = true;
-      }
-    }
-    if (k.rho_cw == id && k.rho_ccw == id && !initiated) {  // lines 14-17
-      initiated = true;
-      ring.send_ccw();
-      while (!ring.recv_ccw()) {
-        if (!io.wait_any()) {
-          out.stopped = true;  // should never happen for Algorithm 2
-          return out;
-        }
-      }
-      progress = true;
-    }
-    if (!progress && !(k.rho_ccw > k.rho_cw)) {
-      if (!io.wait_any()) {
-        out.stopped = true;
-        return out;
-      }
-    }
-  } while (!(k.rho_ccw > k.rho_cw));  // line 18
-  out.terminated = true;              // line 19: output state
-  return out;
+  return drive_blocking(run_alg2(BlockingPortAdapter(io), id));
 }
 
 BlockingOutcome run_alg3_blocking(NodeIo io, std::uint64_t id,
                                   co::IdScheme scheme) {
-  COLEX_EXPECTS(id >= 1);
-  BlockingOutcome out;
-  out.id = id;
-  const co::VirtualIds vids = co::virtual_ids(id, scheme);
-
-  auto send_port = [&](int i) {
-    io.send(sim::port_from_index(i));
-    ++out.sigma_port[i];
-  };
-  auto recv_port = [&](int i) {
-    if (!io.recv(sim::port_from_index(i))) return false;
-    ++out.rho_port[i];
-    return true;
-  };
-
-  for (const int i : {0, 1}) send_port(i);  // lines 1-3
-  for (;;) {                                // line 4
-    bool progress = false;
-    for (const int i : {0, 1}) {  // lines 5-7
-      if (recv_port(1 - i)) {
-        if (out.rho_port[1 - i] != vids.vid[i]) send_port(i);
-        progress = true;
-      }
-    }
-    // Lines 8-16.
-    if (std::max(out.rho_port[0], out.rho_port[1]) >= vids.vid[1]) {
-      if (out.rho_port[0] == vids.vid[1] && out.rho_port[1] < vids.vid[1]) {
-        out.role = co::Role::leader;
-      } else {
-        out.role = co::Role::non_leader;
-      }
-      out.cw_port =
-          out.rho_port[0] > out.rho_port[1] ? sim::Port::p1 : sim::Port::p0;
-    }
-    if (!progress && !io.wait_any()) {
-      out.stopped = true;
-      return out;
-    }
-  }
+  return drive_blocking(run_alg3(BlockingPortAdapter(io), id, scheme));
 }
 
 ThreadRunResult run_on_threads(const std::vector<std::uint64_t>& ids,
@@ -176,21 +47,8 @@ ThreadRunResult run_on_threads(const std::vector<std::uint64_t>& ids,
         // between, the handle is dead and the epoch comparison below still
         // routes us into the recovery path.
         const std::uint64_t epoch = ring.crash_epoch(v);
-        NodeIo io = ring.io(v);
-        switch (alg) {
-          case ThreadAlg::alg1:
-            out = run_alg1_blocking(io, ids[v]);
-            break;
-          case ThreadAlg::alg2:
-            out = run_alg2_blocking(io, ids[v]);
-            break;
-          case ThreadAlg::alg3_doubled:
-            out = run_alg3_blocking(io, ids[v], co::IdScheme::doubled);
-            break;
-          case ThreadAlg::alg3_improved:
-            out = run_alg3_blocking(io, ids[v], co::IdScheme::improved);
-            break;
-        }
+        out = drive_blocking(
+            spawn_alg(alg, BlockingPortAdapter(ring.io(v)), ids[v]));
         if (ring.crash_epoch(v) == epoch) break;  // normal stop/termination
         // The node crash-stopped mid-run: whatever the dead incarnation
         // computed is gone with it.

@@ -1,11 +1,22 @@
 // Blocking-style transcriptions of the paper's pseudocode, line for line,
-// for execution on real threads (thread_ring.hpp). These are deliberately
-// written as loops over non-blocking recv calls — the exact shape of
-// Algorithms 1, 2 and 3 in the paper — with a blocking wait inserted only
-// where a loop iteration made no progress (which is where an event-driven
-// node would go back to sleep).
+// written once as template coroutines over the PulsePort concept
+// (runtime/port.hpp) so the *same* pseudocode runs on two execution models:
+//
+//  * ThreadRing (one OS thread per node): BlockingPortAdapter's wait_any()
+//    blocks inside await_ready() and never suspends, so resuming the
+//    coroutine once runs the algorithm to completion — exactly the old
+//    blocking functions, which remain available as run_alg*_blocking().
+//  * The coroutine runtime (src/coro): CoroIo's wait_any() parks the node
+//    coroutine until a pulse arrives, so millions of nodes share a few
+//    worker threads.
+//
+// The bodies are deliberately written as loops over non-blocking recv calls
+// — the exact shape of Algorithms 1, 2 and 3 in the paper — with the
+// awaitable wait inserted only where a loop iteration made no progress
+// (which is where an event-driven node would go back to sleep).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -14,39 +25,194 @@
 #include "co/alg3.hpp"
 #include "co/oriented.hpp"
 #include "co/roles.hpp"
+#include "runtime/port.hpp"
 #include "runtime/thread_ring.hpp"
 
 namespace colex::rt {
 
-/// Per-node outcome of a blocking run.
-struct BlockingOutcome {
-  std::uint64_t id = 0;
-  co::Role role = co::Role::undecided;
-  co::PulseCounters counters;          ///< oriented algorithms
-  std::uint64_t rho_port[2] = {0, 0};  ///< Algorithm 3
-  std::uint64_t sigma_port[2] = {0, 0};
-  sim::Port cw_port = sim::Port::p1;   ///< Algorithm 3 orientation output
-  bool terminated = false;  ///< returned via the algorithm's own exit (Alg 2)
-  bool stopped = false;     ///< harness stop (quiescence) ended the run
-  /// Times this node crash-recovered and re-ran its algorithm from scratch.
-  /// A node that crashed and never recovered reports a default outcome with
-  /// `stopped` set: its local state died with it.
-  std::uint64_t restarts = 0;
+namespace detail {
+
+// Oriented-ring wrappers matching the paper's four methods (§3): sendCW
+// transmits on Port1; CW pulses arrive at Port0.
+template <PulsePort Io>
+struct OrientedIo {
+  Io& io;
+  co::PulseCounters& k;
+
+  void send_cw() {
+    io.send(co::kCwPort);
+    ++k.sigma_cw;
+  }
+  bool recv_cw() {
+    if (!io.recv(co::kCcwPort)) return false;
+    ++k.rho_cw;
+    return true;
+  }
+  void send_ccw() {
+    io.send(co::kCcwPort);
+    ++k.sigma_ccw;
+  }
+  bool recv_ccw() {
+    if (!io.recv(co::kCwPort)) return false;
+    ++k.rho_ccw;
+    return true;
+  }
 };
+
+}  // namespace detail
 
 /// Algorithm 1 on an oriented ring; runs until the harness signals
 /// quiescence (the algorithm itself never terminates).
-BlockingOutcome run_alg1_blocking(NodeIo io, std::uint64_t id);
+template <PulsePort Io>
+ElectionTask run_alg1(Io io, std::uint64_t id) {
+  COLEX_EXPECTS(id >= 1);
+  BlockingOutcome out;
+  out.id = id;
+  detail::OrientedIo<Io> ring{io, out.counters};
+
+  ring.send_cw();  // line 1
+  for (;;) {       // line 2
+    if (ring.recv_cw()) {  // line 3
+      if (out.counters.rho_cw == id) {  // line 4
+        out.role = co::Role::leader;
+      } else {
+        out.role = co::Role::non_leader;
+        ring.send_cw();
+      }
+    } else if (!co_await io.wait_any()) {
+      out.stopped = true;  // harness: network is quiescent
+      co_return out;
+    }
+  }
+}
 
 /// Algorithm 2 on an oriented ring; returns when the node terminates.
-BlockingOutcome run_alg2_blocking(NodeIo io, std::uint64_t id);
+template <PulsePort Io>
+ElectionTask run_alg2(Io io, std::uint64_t id) {
+  COLEX_EXPECTS(id >= 1);
+  BlockingOutcome out;
+  out.id = id;
+  detail::OrientedIo<Io> ring{io, out.counters};
+  auto& k = out.counters;
+  bool initiated = false;
+
+  ring.send_cw();  // line 1
+  do {             // line 2
+    bool progress = false;
+    if (ring.recv_cw()) {  // lines 3-8
+      if (k.rho_cw == id) {
+        out.role = co::Role::leader;
+      } else {
+        out.role = co::Role::non_leader;
+        ring.send_cw();
+      }
+      progress = true;
+    }
+    if (k.rho_cw >= id) {  // lines 9-13
+      if (k.sigma_ccw == 0) {
+        ring.send_ccw();
+        progress = true;
+      }
+      if (ring.recv_ccw()) {
+        if (k.rho_ccw != id) ring.send_ccw();
+        progress = true;
+      }
+    }
+    if (k.rho_cw == id && k.rho_ccw == id && !initiated) {  // lines 14-17
+      initiated = true;
+      ring.send_ccw();
+      while (!ring.recv_ccw()) {
+        if (!co_await io.wait_any()) {
+          out.stopped = true;  // should never happen for Algorithm 2
+          co_return out;
+        }
+      }
+      progress = true;
+    }
+    if (!progress && !(k.rho_ccw > k.rho_cw)) {
+      if (!co_await io.wait_any()) {
+        out.stopped = true;
+        co_return out;
+      }
+    }
+  } while (!(k.rho_ccw > k.rho_cw));  // line 18
+  out.terminated = true;              // line 19: output state
+  co_return out;
+}
 
 /// Algorithm 3 on a (possibly scrambled) ring; runs until harness stop.
+template <PulsePort Io>
+ElectionTask run_alg3(Io io, std::uint64_t id, co::IdScheme scheme) {
+  COLEX_EXPECTS(id >= 1);
+  BlockingOutcome out;
+  out.id = id;
+  const co::VirtualIds vids = co::virtual_ids(id, scheme);
+
+  auto send_port = [&](int i) {
+    io.send(sim::port_from_index(i));
+    ++out.sigma_port[i];
+  };
+  auto recv_port = [&](int i) {
+    if (!io.recv(sim::port_from_index(i))) return false;
+    ++out.rho_port[i];
+    return true;
+  };
+
+  for (const int i : {0, 1}) send_port(i);  // lines 1-3
+  for (;;) {                                // line 4
+    bool progress = false;
+    for (const int i : {0, 1}) {  // lines 5-7
+      if (recv_port(1 - i)) {
+        if (out.rho_port[1 - i] != vids.vid[i]) send_port(i);
+        progress = true;
+      }
+    }
+    // Lines 8-16.
+    if (std::max(out.rho_port[0], out.rho_port[1]) >= vids.vid[1]) {
+      if (out.rho_port[0] == vids.vid[1] && out.rho_port[1] < vids.vid[1]) {
+        out.role = co::Role::leader;
+      } else {
+        out.role = co::Role::non_leader;
+      }
+      out.cw_port =
+          out.rho_port[0] > out.rho_port[1] ? sim::Port::p1 : sim::Port::p0;
+    }
+    if (!progress && !co_await io.wait_any()) {
+      out.stopped = true;
+      co_return out;
+    }
+  }
+}
+
+/// Which algorithm a run executes (shared by ThreadRing and src/coro).
+enum class ThreadAlg { alg1, alg2, alg3_doubled, alg3_improved };
+
+/// Instantiates the template transcription for `alg` over any PulsePort.
+template <PulsePort Io>
+ElectionTask spawn_alg(ThreadAlg alg, Io io, std::uint64_t id) {
+  switch (alg) {
+    case ThreadAlg::alg1:
+      return run_alg1(std::move(io), id);
+    case ThreadAlg::alg2:
+      return run_alg2(std::move(io), id);
+    case ThreadAlg::alg3_doubled:
+      return run_alg3(std::move(io), id, co::IdScheme::doubled);
+    case ThreadAlg::alg3_improved:
+      return run_alg3(std::move(io), id, co::IdScheme::improved);
+  }
+  util::contract_fail("precondition", "valid ThreadAlg", __FILE__, __LINE__);
+}
+
+/// Algorithm 1 driven synchronously on a ThreadRing node (legacy shape:
+/// identical behavior to the pre-coroutine blocking transcription).
+BlockingOutcome run_alg1_blocking(NodeIo io, std::uint64_t id);
+
+/// Algorithm 2 driven synchronously on a ThreadRing node.
+BlockingOutcome run_alg2_blocking(NodeIo io, std::uint64_t id);
+
+/// Algorithm 3 driven synchronously on a ThreadRing node.
 BlockingOutcome run_alg3_blocking(NodeIo io, std::uint64_t id,
                                   co::IdScheme scheme);
-
-/// Which algorithm a threaded run executes.
-enum class ThreadAlg { alg1, alg2, alg3_doubled, alg3_improved };
 
 struct ThreadRunResult {
   std::vector<BlockingOutcome> outcomes;

@@ -1,0 +1,160 @@
+// The execution-model seam shared by ThreadRing and the coroutine runtime
+// (src/coro): one port interface, one coroutine task type, and an adapter
+// that lets the *same* algorithm transcription run on both.
+//
+// The paper's pseudocode is transcribed once, as a template coroutine over a
+// `PulsePort` (blocking_algs.hpp). The only operation that can block is
+// wait_any(), so it is the only awaitable; recv()/send() are plain calls.
+// On the coroutine runtime the awaitable parks the node until a pulse
+// arrives. On ThreadRing, BlockingPortAdapter wraps NodeIo with an awaitable
+// that performs the blocking wait inside await_ready() and never suspends —
+// the coroutine therefore runs to completion in one resume, byte-for-byte
+// the old blocking behavior, on the worker thread that resumed it.
+#pragma once
+
+#include <concepts>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "co/oriented.hpp"
+#include "co/roles.hpp"
+#include "runtime/thread_ring.hpp"
+#include "sim/types.hpp"
+#include "util/contracts.hpp"
+
+namespace colex::rt {
+
+/// Per-node outcome of a blocking-style run (either runtime).
+struct BlockingOutcome {
+  std::uint64_t id = 0;
+  co::Role role = co::Role::undecided;
+  co::PulseCounters counters;          ///< oriented algorithms
+  std::uint64_t rho_port[2] = {0, 0};  ///< Algorithm 3
+  std::uint64_t sigma_port[2] = {0, 0};
+  sim::Port cw_port = sim::Port::p1;   ///< Algorithm 3 orientation output
+  bool terminated = false;  ///< returned via the algorithm's own exit (Alg 2)
+  bool stopped = false;     ///< harness stop (quiescence) ended the run
+  /// Times this node crash-recovered and re-ran its algorithm from scratch.
+  /// A node that crashed and never recovered reports a default outcome with
+  /// `stopped` set: its local state died with it.
+  std::uint64_t restarts = 0;
+};
+
+/// The port interface an algorithm transcription compiles against:
+/// non-blocking receive, send, and an *awaitable* wait for the next pulse
+/// (which the harness can interrupt once global quiescence is certain).
+/// wait_any()'s awaitable must resume with `bool`: false when the harness
+/// stopped the run, true otherwise. True does NOT promise a pulse —
+/// wakeups may be spurious (condvar semantics on ThreadRing, a stale
+/// producer CAS on the coroutine executor), so transcriptions re-poll
+/// recv() and wait again.
+template <class Io>
+concept PulsePort = requires(Io io, sim::Port p) {
+  { io.recv(p) } -> std::convertible_to<bool>;
+  io.send(p);
+  io.wait_any();  // awaitable; resumes with bool
+};
+
+/// Coroutine handle for one node's election run. Lazy-started: the creator
+/// decides when (and on which thread) the body first runs. The outcome is
+/// stored in the promise and read after completion via outcome().
+class ElectionTask {
+ public:
+  struct promise_type {
+    BlockingOutcome outcome;
+    std::exception_ptr error;
+
+    ElectionTask get_return_object() {
+      return ElectionTask(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_value(BlockingOutcome out) { outcome = out; }
+    // Contract violations throw (util/contracts.hpp); park the exception in
+    // the promise so the driver rethrows it where the caller can see it.
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  ElectionTask() = default;
+  explicit ElectionTask(Handle h) : handle_(h) {}
+  ElectionTask(ElectionTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  ElectionTask& operator=(ElectionTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ElectionTask(const ElectionTask&) = delete;
+  ElectionTask& operator=(const ElectionTask&) = delete;
+  ~ElectionTask() { destroy(); }
+
+  Handle handle() const { return handle_; }
+  bool done() const { return handle_ && handle_.done(); }
+  /// Rethrows an exception that escaped the algorithm body, if any.
+  void rethrow_if_error() const {
+    if (handle_ && handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+  }
+  /// The node's result; only meaningful once done().
+  const BlockingOutcome& outcome() const {
+    COLEX_EXPECTS(done());
+    rethrow_if_error();
+    return handle_.promise().outcome;
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = {};
+  }
+  Handle handle_;
+};
+
+/// ThreadRing-side PulsePort: wraps a NodeIo so the template coroutine
+/// transcriptions run on it unchanged. The wait_any() awaitable blocks
+/// inside await_ready() (on the node's condition variable, via
+/// NodeIo::wait_any) and always reports ready, so the coroutine never
+/// actually suspends — resuming it once runs the algorithm to completion
+/// exactly as the plain blocking function did.
+class BlockingPortAdapter {
+ public:
+  explicit BlockingPortAdapter(NodeIo io) : io_(io) {}
+
+  bool recv(sim::Port p) { return io_.recv(p); }
+  void send(sim::Port p) { io_.send(p); }
+
+  struct WaitAnyAwaiter {
+    NodeIo& io;
+    bool result = false;
+    bool await_ready() {
+      result = io.wait_any();  // the blocking wait happens here
+      return true;             // never suspend
+    }
+    void await_suspend(std::coroutine_handle<>) {}
+    bool await_resume() const { return result; }
+  };
+  WaitAnyAwaiter wait_any() { return WaitAnyAwaiter{io_}; }
+
+ private:
+  NodeIo io_;
+};
+
+static_assert(PulsePort<BlockingPortAdapter>);
+
+/// Runs a lazily-started ElectionTask whose port never suspends (e.g. over
+/// BlockingPortAdapter) to completion on the calling thread and returns the
+/// outcome.
+inline BlockingOutcome drive_blocking(ElectionTask task) {
+  task.handle().resume();
+  COLEX_ENSURES(task.done());
+  return task.outcome();
+}
+
+}  // namespace colex::rt

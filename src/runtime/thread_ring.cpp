@@ -109,6 +109,10 @@ bool ThreadRing::wait_any(sim::NodeId v) {
       timed ? std::chrono::steady_clock::now()
             : std::chrono::steady_clock::time_point{};
   idle_.fetch_add(1);
+  // This idle transition may be the one that completes global quiescence
+  // (all accounted + sent==consumed): tell the monitor instead of letting
+  // it find out on its next polling tick.
+  maybe_notify_monitor();
   node.cv.wait(lock, [&node, this, e0] {
     return node.pending[0] != 0 || node.pending[1] != 0 || stop_.load() ||
            node.crash_epoch.load() != e0;
@@ -148,6 +152,8 @@ void ThreadRing::crash(sim::NodeId v) {
   crash_lost_.fetch_add(lost);
   crash_count_.fetch_add(1);
   node.cv.notify_all();
+  // Swallowing the pending pulses may have closed the sent==consumed gap.
+  maybe_notify_monitor();
 }
 
 void ThreadRing::recover(sim::NodeId v) {
@@ -168,6 +174,7 @@ bool ThreadRing::await_recovery(sim::NodeId v) {
   // node must not block quiescence detection forever.
   ack_epoch(v, node.crash_epoch.load());
   awaiting_recovery_.fetch_add(1);
+  maybe_notify_monitor();
   node.cv.wait(lock, [&node, this] {
     return !node.crashed.load() || stop_.load();
   });
@@ -194,6 +201,9 @@ void ThreadRing::ack_epoch(sim::NodeId v, std::uint64_t epoch) {
   std::uint64_t cur = acked.load();
   while (cur < epoch && !acked.compare_exchange_weak(cur, epoch)) {
   }
+  // Catching up with an incarnation can be the last gate quiescence
+  // detection was waiting on (all_epochs_acked).
+  maybe_notify_monitor();
 }
 
 bool ThreadRing::all_epochs_acked() const {
@@ -257,6 +267,32 @@ void ThreadRing::publish_metrics() const {
   }
 }
 
+bool ThreadRing::candidate_quiescent() const {
+  // Every worker is either blocked on an empty port, parked waiting for
+  // its crashed node to be recovered, or done; every pulse sent has been
+  // consumed. all_epochs_acked guards the crash-recovery window: right
+  // after a crash (or crash+recover) the worker may still be counted idle
+  // — parked on its condvar, woken but not yet scheduled — while its
+  // restart, and the fresh pulse that comes with it, is inevitable. Until
+  // the worker acknowledges the new incarnation (io() or
+  // await_recovery()), the fabric only *looks* quiet.
+  const std::size_t accounted =
+      idle_.load() + awaiting_recovery_.load() + finished_.load();
+  return accounted == nodes_.size() &&
+         sent_.load() == consumed_.load() && all_epochs_acked();
+}
+
+void ThreadRing::maybe_notify_monitor() {
+  if (finished_.load() != nodes_.size() && !candidate_quiescent()) return;
+  // Lock-then-notify: the monitor evaluates its predicate under
+  // monitor_mutex_ before waiting, so taking the (empty) critical section
+  // here guarantees the monitor is either pre-check (and will see the new
+  // counters) or already waiting (and receives the notify) — a wakeup can
+  // never fall into the gap between the two.
+  { std::lock_guard<std::mutex> lock(monitor_mutex_); }
+  monitor_cv_.notify_one();
+}
+
 bool ThreadRing::monitor(std::uint64_t timeout_ms) {
   const auto started = std::chrono::steady_clock::now();
   const auto deadline = started + std::chrono::milliseconds(timeout_ms);
@@ -266,21 +302,6 @@ bool ThreadRing::monitor(std::uint64_t timeout_ms) {
       std::max<std::uint64_t>(timeout_ms / kProgressSamples, 50));
   auto next_sample = started;
   const std::size_t n = nodes_.size();
-  auto accounted = [this] {
-    // Every worker is either blocked on an empty port, parked waiting for
-    // its crashed node to be recovered, or done.
-    return idle_.load() + awaiting_recovery_.load() + finished_.load();
-  };
-  auto quiescent = [&, this] {
-    // all_epochs_acked guards the crash-recovery window: right after a
-    // crash (or crash+recover) the worker may still be counted idle —
-    // parked on its condvar, woken but not yet scheduled — while its
-    // restart, and the fresh pulse that comes with it, is inevitable.
-    // Until the worker acknowledges the new incarnation (io() or
-    // await_recovery()), the fabric only *looks* quiet.
-    return accounted() == n && sent_.load() == consumed_.load() &&
-           all_epochs_acked();
-  };
   for (;;) {
     const auto now = std::chrono::steady_clock::now();
     if (now >= next_sample) {
@@ -289,11 +310,11 @@ bool ThreadRing::monitor(std::uint64_t timeout_ms) {
       next_sample = now + sample_every;
     }
     if (finished_.load() == n) return true;  // natural termination
-    if (quiescent()) {
+    if (candidate_quiescent()) {
       // Double-scan: re-observe after a pause to ride out races between a
       // send and the receiver waking up.
       std::this_thread::sleep_for(std::chrono::microseconds(300));
-      if (quiescent()) {
+      if (candidate_quiescent()) {
         broadcast_stop();
         return true;
       }
@@ -302,7 +323,16 @@ bool ThreadRing::monitor(std::uint64_t timeout_ms) {
       broadcast_stop();
       return false;
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    // Event-driven idle detection: sleep until a worker signals a
+    // quiescence candidate (maybe_notify_monitor) instead of polling on a
+    // fixed sleep — the old 200µs poll put the scheduling latency of this
+    // thread on the critical path of every small-n run. The wait is still
+    // bounded by the sampling cadence so the progress history and the
+    // deadline keep their timing.
+    std::unique_lock<std::mutex> lock(monitor_mutex_);
+    if (finished_.load() != n && !candidate_quiescent()) {
+      monitor_cv_.wait_until(lock, std::min(next_sample, deadline));
+    }
   }
 }
 

@@ -104,7 +104,10 @@ class ThreadRing {
 
   /// Worker bookkeeping: a worker thread calls this when its algorithm
   /// function returns.
-  void worker_finished() { finished_.fetch_add(1); }
+  void worker_finished() {
+    finished_.fetch_add(1);
+    maybe_notify_monitor();
+  }
 
   /// Runs the monitor loop in the calling thread until either all `n`
   /// workers finished naturally, or quiescence is detected / the timeout
@@ -217,12 +220,31 @@ class ThreadRing {
   void ack_epoch(sim::NodeId v, std::uint64_t epoch);
   bool all_epochs_acked() const;
 
+  /// True iff the fabric currently looks fully quiet: every worker is
+  /// accounted for (idle, parked awaiting recovery, or finished), every
+  /// pulse sent has been consumed, and no crash epoch is unacknowledged.
+  bool candidate_quiescent() const;
+
+  /// Wakes the monitor iff the fabric just became a quiescence (or natural
+  /// termination) candidate. Called from the counter-transition sites —
+  /// going idle, finishing, parking for recovery, acking an epoch, crash
+  /// bookkeeping — so idle detection is event-driven instead of the
+  /// monitor polling on a fixed sleep. Cheap checks short-circuit first;
+  /// notifying takes the (empty) monitor critical section so a wakeup can
+  /// never slip between the monitor's predicate check and its wait.
+  void maybe_notify_monitor();
+
   /// Appends one progress sample (called by the monitor loop) to the
   /// bounded history reported on stall.
   void record_progress_sample(double elapsed_ms);
 
   std::vector<Node> nodes_;
   obs::Registry* metrics_ = nullptr;
+  // Monitor wakeup channel: workers notify when the fabric becomes a
+  // quiescence candidate; the monitor waits here (bounded by its sampling
+  // cadence, so the watchdog and progress history keep their timing).
+  std::mutex monitor_mutex_;
+  std::condition_variable monitor_cv_;
   // Last-N progress snapshots from the monitor loop, for the stall
   // post-mortem: "was the run dead all along or did it die at t=X?".
   static constexpr std::size_t kProgressSamples = 16;

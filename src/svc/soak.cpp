@@ -60,6 +60,7 @@ void shard_main(Shard& shard, SharedState& shared, const SoakOptions& options,
   obs::Counter& c_diverged = reg.counter("svc.elections.diverged");
   obs::Counter& c_safety = reg.counter("svc.elections.safety_violated");
   obs::Counter& c_attempts = reg.counter("svc.attempts");
+  obs::Counter& c_coro_attempts = reg.counter("svc.attempts_coro");
   obs::Counter& c_retries = reg.counter("svc.retries");
   obs::Counter& c_faults = reg.counter("svc.faults_applied");
   obs::Counter& c_pulses = reg.counter("svc.pulses");
@@ -90,6 +91,7 @@ void shard_main(Shard& shard, SharedState& shared, const SoakOptions& options,
     h_latency.record(ms);
     shard.attempts += er.attempts;
     c_attempts.inc(er.attempts);
+    c_coro_attempts.inc(er.coro_attempts);
     if (er.attempts > 1) {
       c_retried.inc();
       c_retries.inc(er.attempts - 1);
@@ -160,6 +162,8 @@ std::string SoakReport::to_json() const {
      << ",\"diverged\":" << diverged
      << ",\"safety_violated\":" << safety_violated
      << ",\"attempts\":" << attempts
+     << ",\"coro_attempts\":" << coro_attempts
+     << ",\"backend\":\"" << backend << "\""
      << ",\"faults_applied\":" << faults_applied
      << ",\"elections_per_second\":" << elections_per_second
      << ",\"latency_ms\":{\"mean\":" << latency_ms.mean
@@ -299,6 +303,8 @@ SoakReport run_soak(const SoakOptions& options) {
   report.safety_violated =
       counter_value(report.metrics, "svc.elections.safety_violated");
   report.attempts = counter_value(report.metrics, "svc.attempts");
+  report.coro_attempts = counter_value(report.metrics, "svc.attempts_coro");
+  report.backend = to_string(options.policy.backend);
   report.faults_applied =
       counter_value(report.metrics, "svc.faults_applied");
   report.latency_ms = util::summarize(latencies);

@@ -13,6 +13,12 @@
 // outcome. Rings never outlive an election: every visit respawns a fresh
 // ring with a fresh size — ring retirement IS the loop structure.
 //
+// SupervisorPolicy::backend selects the execution substrate for clean
+// attempts: `sim` (default) runs them on the deterministic simulator,
+// `coro` runs them as real coroutines on the work-stealing executor
+// (src/coro), exercising the production runtime under churn. Faulty
+// attempts always run on sim, where fault injection lives.
+//
 // Ownership and thread-safety follow the obs registry contract: each shard
 // owns a private obs::Registry, latency vector, and outcome tallies,
 // written only by that shard's thread and merged after the join. The only
@@ -95,6 +101,8 @@ struct SoakReport {
   std::uint64_t diverged = 0;  ///< abandoned with a final diverged attempt
   std::uint64_t safety_violated = 0;
   std::uint64_t attempts = 0;
+  std::uint64_t coro_attempts = 0;  ///< attempts run on the coro backend
+  std::string backend = "sim";      ///< substrate clean attempts ran on
   std::uint64_t faults_applied = 0;
   double wall_seconds = 0.0;
   double elections_per_second = 0.0;

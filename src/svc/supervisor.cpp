@@ -6,11 +6,28 @@
 #include "co/alg1.hpp"
 #include "co/alg2.hpp"
 #include "co/roles.hpp"
+#include "coro/run.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
 #include "util/contracts.hpp"
 
 namespace colex::svc {
+
+const char* to_string(SoakBackend backend) {
+  return backend == SoakBackend::coro ? "coro" : "sim";
+}
+
+bool backend_from_string(const std::string& s, SoakBackend& out) {
+  if (s == "sim") {
+    out = SoakBackend::sim;
+    return true;
+  }
+  if (s == "coro") {
+    out = SoakBackend::coro;
+    return true;
+  }
+  return false;
+}
 
 namespace {
 
@@ -26,11 +43,72 @@ co::Role role_of(const sim::PulseNetwork& net, SoakAlg alg, sim::NodeId v) {
              : net.automaton_as<co::Alg2Terminating>(v).role();
 }
 
+/// Clean-attempt path on the coroutine executor. Outcomes here are
+/// schedule-independent — the conserved pulse counters give the exact
+/// Theorem 1 / Corollary 13 count and a unique max-ID leader — so the only
+/// non-deterministic ending is a wall-clock watchdog timeout, which
+/// classifies as `stalled` without the clean-attempt escalation (a loaded
+/// machine is not an algorithm bug; the retry ladder absorbs it).
+AttemptResult run_attempt_coro(const RingSpec& spec) {
+  const std::uint64_t id_max = spec.id_max();
+  const rt::ThreadAlg alg =
+      spec.alg == SoakAlg::alg1 ? rt::ThreadAlg::alg1 : rt::ThreadAlg::alg2;
+
+  // One worker per election: a soak shard is already one thread of a fixed
+  // pool, so fanning each tiny ring across more workers would only
+  // oversubscribe the machine.
+  coro::CoroRunOptions copts;
+  copts.workers = 1;
+  copts.timeout_ms = 10'000;
+  const coro::CoroRunResult r = coro::run_on_coro(spec.ids, {}, alg, copts);
+
+  AttemptResult a;
+  a.on_coro = true;
+  a.pulses = r.pulses;
+  a.pulse_bound = spec.pulse_bound();
+  a.within_bound = a.pulses <= a.pulse_bound;
+  a.unique_leader = r.leader_count == 1;
+  a.leader_is_max = r.leader.has_value() && spec.ids[*r.leader] == id_max;
+  a.report.sent = r.pulses;
+  a.report.deliveries = r.pulses;  // SPSC fabric: every pulse consumed once
+  a.report.quiescent = r.completed;
+
+  if (!r.completed) {
+    a.outcome = sim::FaultOutcome::stalled;
+    a.diagnosis = "coro attempt hit the stall watchdog: " + r.stall_dump;
+    return a;
+  }
+  bool decided = a.unique_leader && a.leader_is_max;
+  for (const rt::BlockingOutcome& out : r.outcomes) {
+    if (out.role == co::Role::undecided) decided = false;
+    if (spec.alg == SoakAlg::alg2 && !out.terminated && !out.stopped) {
+      decided = false;
+    }
+  }
+  a.report.all_terminated = decided && spec.alg == SoakAlg::alg2;
+  if (!decided) {
+    a.outcome = sim::FaultOutcome::safety_violated;
+    a.diagnosis = "clean coro attempt settled without a valid election: " +
+                  std::to_string(r.leader_count) + " leaders";
+  } else if (!a.within_bound) {
+    a.outcome = sim::FaultOutcome::safety_violated;
+    a.diagnosis = "clean coro run exceeded the Theorem 1 pulse bound: " +
+                  std::to_string(a.pulses) + " > " +
+                  std::to_string(a.pulse_bound);
+  } else {
+    a.outcome = sim::FaultOutcome::recovered_correct;
+  }
+  return a;
+}
+
 }  // namespace
 
-AttemptResult run_attempt(const RingSpec& spec) {
+AttemptResult run_attempt(const RingSpec& spec, SoakBackend backend) {
   COLEX_EXPECTS(!spec.ids.empty());
   COLEX_EXPECTS(spec.max_events > 0);
+  if (backend == SoakBackend::coro && spec.faults.trivial()) {
+    return run_attempt_coro(spec);
+  }
   const std::size_t n = spec.ids.size();
   const std::uint64_t id_max = spec.id_max();
 
@@ -127,8 +205,9 @@ ElectionReport run_supervised(const ChurnEngine& churn, std::uint64_t election,
   for (unsigned attempt = 0; attempt < policy.max_attempts; ++attempt) {
     const RingSpec spec =
         churn.spec(election, attempt, policy.clean_after_attempts);
-    const AttemptResult a = run_attempt(spec);
+    const AttemptResult a = run_attempt(spec, policy.backend);
     out.attempts = attempt + 1;
+    out.coro_attempts += a.on_coro ? 1 : 0;
     out.final_outcome = a.outcome;
     out.diagnosis = a.diagnosis;
     out.pulses = a.pulses;

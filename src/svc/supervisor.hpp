@@ -31,6 +31,19 @@
 
 namespace colex::svc {
 
+/// Execution substrate for soak attempts. Fault injection lives on the
+/// simulator, so the coroutine backend takes over exactly the attempts
+/// whose churn plan is provably trivial(): with `coro` selected, clean
+/// attempts (including every rung from clean_after_attempts on) run as real
+/// coroutines on the work-stealing executor, while faulty attempts still go
+/// through sim::FaultyNetwork. The service-level contract is unchanged —
+/// the coro path checks the same unique-max-leader and Theorem 1 bound
+/// predicates against the executor's conserved pulse counters.
+enum class SoakBackend { sim, coro };
+
+const char* to_string(SoakBackend backend);
+bool backend_from_string(const std::string& s, SoakBackend& out);
+
 struct SupervisorPolicy {
   /// Total attempts per election: the first try plus up to
   /// max_attempts - 1 retries.
@@ -39,6 +52,8 @@ struct SupervisorPolicy {
   /// the backoff ladder). Must be < max_attempts for the self-healing
   /// guarantee to hold.
   unsigned clean_after_attempts = 2;
+  /// Substrate for clean attempts (faulty attempts always run on sim).
+  SoakBackend backend = SoakBackend::sim;
 };
 
 /// One classified attempt on one RingSpec.
@@ -50,15 +65,23 @@ struct AttemptResult {
   bool within_bound = false;   ///< pulses <= pulse_bound
   bool unique_leader = false;  ///< exactly one Leader role
   bool leader_is_max = false;  ///< and it holds the max ID
+  bool on_coro = false;        ///< ran on the coroutine executor
   sim::FaultTallies tallies;
   sim::RunReport report;
 };
 
-/// Runs one attempt of `spec` to completion (or event-budget exhaustion)
-/// under a RandomScheduler seeded from the spec. Pure function of the spec.
+/// Runs one attempt of `spec` to completion (or event-budget exhaustion).
+/// On the sim backend (and for any non-trivial fault plan) the attempt runs
+/// under a RandomScheduler seeded from the spec — a pure function of the
+/// spec. On the coro backend a clean attempt runs on the coroutine
+/// executor, where outcomes are schedule-independent (exact pulse count,
+/// unique leader) but wall-clock stalls are possible, so a watchdog timeout
+/// classifies as `stalled` WITHOUT the clean-attempt escalation: a loaded
+/// machine is not an algorithm bug, and the retry ladder absorbs it.
 /// Clean-attempt escalation (stalled → safety_violated) and the pulse-bound
 /// demotion described above are already applied to `outcome`.
-AttemptResult run_attempt(const RingSpec& spec);
+AttemptResult run_attempt(const RingSpec& spec,
+                          SoakBackend backend = SoakBackend::sim);
 
 /// Final, supervised outcome of one election.
 struct ElectionReport {
@@ -71,6 +94,7 @@ struct ElectionReport {
   std::uint64_t pulse_bound = 0;       ///< of the final attempt's ring
   std::uint64_t faults_applied = 0;    ///< across all attempts
   std::uint64_t events_consumed = 0;   ///< deliveries across all attempts
+  std::uint64_t coro_attempts = 0;     ///< attempts run on the coro backend
 };
 
 /// Supervises election number `election` of the engine's slot: attempt →

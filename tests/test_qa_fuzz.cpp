@@ -8,6 +8,7 @@
 
 #include "obs/export.hpp"
 #include "qa/fuzzer.hpp"
+#include "qa/properties.hpp"
 #include "qa/repro.hpp"
 #include "util/contracts.hpp"
 
@@ -37,6 +38,22 @@ TEST(FuzzCampaign, CleanCasesSatisfyAllPropertiesPerAlgorithm) {
         << report.counterexamples.front().seed << " failed "
         << report.counterexamples.front().result.failed_property << ": "
         << report.counterexamples.front().result.diagnostic;
+  }
+}
+
+TEST(FuzzCampaign, RuntimeSubstratesAgreeOnFuzzedCleanCases) {
+  // Cross-substrate oracle on fuzzed inputs: every clean case must elect
+  // the same leader set with the exact paper-predicted pulse count on the
+  // simulator, the ThreadRing runtime, and the coroutine executor. n stays
+  // clamped small (base_options) so spawning real threads per case is cheap.
+  const CampaignOptions options = base_options(1);
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const FuzzCase c = generate_case(seed, options.generator);
+    ASSERT_TRUE(c.clean());
+    const std::string diag = check_runtime_agreement(c);
+    EXPECT_TRUE(diag.empty())
+        << "seed " << seed << " (" << to_string(c.alg) << ", n=" << c.n()
+        << "): " << diag;
   }
 }
 

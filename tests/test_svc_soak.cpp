@@ -132,6 +132,41 @@ TEST(RunAttempt, CleanAlg1UsesCorollary13Pulses) {
   EXPECT_TRUE(a.leader_is_max);
 }
 
+TEST(RunAttempt, CoroBackendMatchesSimOnCleanRings) {
+  // The same clean specs, re-run on the coroutine executor: identical
+  // classification and the identical exact pulse budgets. Pulse counts are
+  // schedule-independent on both substrates, so these must agree bit-for-bit
+  // with the sim expectations above.
+  const auto alg2 = clean_spec(SoakAlg::alg2, {3, 7, 2, 5});
+  const svc::AttemptResult a2 =
+      svc::run_attempt(alg2, svc::SoakBackend::coro);
+  EXPECT_EQ(a2.outcome, sim::FaultOutcome::recovered_correct) << a2.diagnosis;
+  EXPECT_TRUE(a2.on_coro);
+  EXPECT_EQ(a2.pulses, 4u * (2u * 7u + 1u));
+  EXPECT_TRUE(a2.unique_leader);
+  EXPECT_TRUE(a2.leader_is_max);
+
+  const auto alg1 = clean_spec(SoakAlg::alg1, {4, 9, 1});
+  const svc::AttemptResult a1 =
+      svc::run_attempt(alg1, svc::SoakBackend::coro);
+  EXPECT_EQ(a1.outcome, sim::FaultOutcome::recovered_correct) << a1.diagnosis;
+  EXPECT_TRUE(a1.on_coro);
+  EXPECT_EQ(a1.pulses, 3u * 9u);
+  EXPECT_TRUE(a1.unique_leader);
+  EXPECT_TRUE(a1.leader_is_max);
+}
+
+TEST(RunAttempt, CoroBackendLeavesFaultyAttemptsOnSim) {
+  // Fault injection lives on the simulator: a non-trivial plan must run
+  // there even when the policy selects the coro backend.
+  RingSpec spec = clean_spec(SoakAlg::alg2, {3, 7, 2, 5});
+  spec.faults.preseed_channels.push_back({0, 1});
+  ASSERT_FALSE(spec.faults.trivial());
+  const svc::AttemptResult a =
+      svc::run_attempt(spec, svc::SoakBackend::coro);
+  EXPECT_FALSE(a.on_coro);
+}
+
 // --- run_supervised: the self-healing guarantee ---------------------------
 
 TEST(RunSupervised, StormChurnAlwaysCompletesWithinPolicy) {
@@ -221,6 +256,28 @@ TEST(RunSoak, BoundedSoakCompletesEveryElectionAndReportsConsistently) {
   EXPECT_NE(trace.metrics_json.find("svc.elections.started"),
             std::string::npos);
   std::remove(snapshot.c_str());
+}
+
+TEST(RunSoak, CoroBackendHoldsTheServiceGate) {
+  // A bounded soak with clean attempts on the coroutine executor: the
+  // service-level gate must hold exactly as on sim, and the attempt tally
+  // must show the coro path actually ran.
+  svc::SoakOptions options;
+  options.duration_seconds = 0.0;
+  options.rings = 16;
+  options.shards = 2;
+  options.seed = 91;
+  options.min_elections = 40;
+  options.policy.backend = svc::SoakBackend::coro;
+  const svc::SoakReport report = svc::run_soak(options);
+
+  EXPECT_TRUE(report.ok()) << report.to_json();
+  EXPECT_EQ(report.backend, "coro");
+  EXPECT_GT(report.coro_attempts, 0u);
+  EXPECT_LE(report.coro_attempts, report.attempts);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"backend\":\"coro\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
 }
 
 TEST(RunSoak, MaxElectionsStopsTheRunEarly) {

@@ -12,6 +12,9 @@
 //   --max-elections N   stop early after N finished (0 = duration-driven)
 //   --max-attempts N    supervisor attempt budget per election (default 4)
 //   --clean-after N     attempts >= N run fault-free (default 2)
+//   --backend B         substrate for clean attempts: sim | coro
+//                       (default sim; coro runs them on the coroutine
+//                       executor — faulty attempts always run on sim)
 //   --snapshot FILE     periodically rewrite FILE as a colex-trace-v1
 //                       metrics snapshot (view with `colex-inspect summary`)
 //   --snapshot-every S  snapshot cadence in seconds (default 1)
@@ -39,6 +42,7 @@ int usage() {
                "             [--seed S] [--churn calm|steady|storm]\n"
                "             [--min-elections N] [--max-elections N]\n"
                "             [--max-attempts N] [--clean-after N]\n"
+               "             [--backend sim|coro]\n"
                "             [--snapshot FILE] [--snapshot-every S] [--json]\n";
   return 2;
 }
@@ -71,8 +75,8 @@ void print_human(const svc::SoakReport& r) {
             << " abandoned\n"
             << "  failures: " << r.safety_violated << " safety-violated, "
             << r.diverged << " diverged, " << r.stalled << " stalled\n"
-            << "  attempts: " << r.attempts << " (" << r.faults_applied
-            << " faults applied)\n"
+            << "  attempts: " << r.attempts << " (" << r.coro_attempts
+            << " on coro, " << r.faults_applied << " faults applied)\n"
             << "  throughput: " << r.elections_per_second << " elections/s\n"
             << "  latency ms: p50=" << r.latency_ms.p50
             << " p95=" << r.latency_ms.p95 << " p99=" << r.latency_ms.p99
@@ -130,6 +134,10 @@ int main(int argc, char** argv) {
       options.policy.max_attempts = static_cast<unsigned>(u);
     } else if (a == "--clean-after" && has_value && parse_u64(args[++i], u)) {
       options.policy.clean_after_attempts = static_cast<unsigned>(u);
+    } else if (a == "--backend" && has_value) {
+      if (!svc::backend_from_string(args[++i], options.policy.backend)) {
+        return usage();
+      }
     } else if (a == "--snapshot" && has_value) {
       options.snapshot_path = args[++i];
     } else if (a == "--snapshot-every" && has_value &&
