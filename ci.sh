@@ -10,6 +10,7 @@
 #   ./ci.sh lint        just the static-analysis stage
 #   ./ci.sh soak-smoke  just the soak gate on the default build
 #   ./ci.sh coro-smoke  just the coroutine-runtime gate on the default build
+#   ./ci.sh metrics-smoke  just the live-telemetry gate on the default build
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,8 +21,9 @@ case "$mode" in
   lint|--lint) mode=lint ;;
   soak-smoke|--soak-smoke) mode=soak-smoke ;;
   coro-smoke|--coro-smoke) mode=coro-smoke ;;
+  metrics-smoke|--metrics-smoke) mode=metrics-smoke ;;
   *)
-    echo "usage: $0 [all|--smoke|lint|soak-smoke|coro-smoke]" >&2
+    echo "usage: $0 [all|--smoke|lint|soak-smoke|coro-smoke|metrics-smoke]" >&2
     exit 2
     ;;
 esac
@@ -97,6 +99,50 @@ run_coro_smoke() {
   grep -q '"gate_ok": true' "$dir/BENCH_E16.json"
 }
 
+# Live-telemetry smoke: serve /metrics mid-soak, scrape it with the in-repo
+# client (colex-top --raw; no curl dependency), and require (a) the headline
+# election counter plus every per-phase pulse series on the wire, and (b)
+# the scrape's `# TYPE` family set to equal the end-of-run snapshot rendered
+# by `colex-inspect metrics` — one encoder, two views, directly diffable.
+run_metrics_smoke() {
+  local dir="$1" label="$2"
+  echo "==> [$label] metrics smoke: colex-soak --serve + colex-top scrape"
+  cmake --build "$dir" -j "$jobs" \
+      --target colex-soak colex-top colex-inspect >/dev/null
+  local work
+  work="$(mktemp -d)"
+  "$dir"/tools/colex-soak --duration 4 --rings 256 --shards 2 --seed 11 \
+      --churn steady --serve 0 --snapshot "$work/snap.jsonl" --json \
+      > "$work/summary.json" 2> "$work/stderr.log" &
+  local soak_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^serving metrics on 127\.0\.0\.1://p' \
+        "$work/stderr.log" | head -1)"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "    soak never announced a metrics port" >&2
+    kill "$soak_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 1  # let elections land on every shard before scraping
+  "$dir"/tools/colex-top --port "$port" --once --raw > "$work/scrape.txt"
+  grep -q '^colex_elections_total ' "$work/scrape.txt"
+  for phase in probe elected initiated_wait orientation_flip done adversary; do
+    grep -q "^colex_pulses_total{phase=\"$phase\"} " "$work/scrape.txt"
+  done
+  wait "$soak_pid"
+  grep -q '"ok":true' "$work/summary.json"
+  "$dir"/tools/colex-inspect metrics "$work/snap.jsonl" > "$work/final.txt"
+  diff <(grep '^# TYPE' "$work/scrape.txt" | sort) \
+       <(grep '^# TYPE' "$work/final.txt" | sort)
+  echo "    live scrape and recorded rendering agree on" \
+       "$(grep -c '^# TYPE' "$work/final.txt") metric families"
+  rm -rf "$work"
+}
+
 if [ "$mode" = lint ]; then
   run_lint
   echo "==> lint green"
@@ -117,6 +163,13 @@ if [ "$mode" = coro-smoke ]; then
   exit 0
 fi
 
+if [ "$mode" = metrics-smoke ]; then
+  cmake -B build -S . -DCOLEX_WERROR=ON >/dev/null
+  run_metrics_smoke build default
+  echo "==> metrics smoke green"
+  exit 0
+fi
+
 # 1. Default configuration: full tier-1 suite. -DCOLEX_WERROR=ON is the
 #    CMake default; pinned here so a cached build tree can never drop it.
 run_config build default "" -DCOLEX_WERROR=ON
@@ -131,12 +184,17 @@ run_soak_smoke build default
 #    ThreadRing on both capacity and nodes/sec even in the CI-sized run.
 run_coro_smoke build default
 
+# 5. Live-telemetry smoke on the default build: /metrics must be scrapeable
+#    mid-soak and agree family-for-family with the recorded rendering.
+run_metrics_smoke build default
+
 if [ "$mode" = smoke ]; then
-  echo "==> smoke green (default build + ctest + lint + soak + coro smoke)"
+  echo "==> smoke green (default build + ctest + lint + soak + coro" \
+       "+ metrics smoke)"
   exit 0
 fi
 
-# 5. ASan + UBSan: full suite (memory errors and UB anywhere), then the
+# 6. ASan + UBSan: full suite (memory errors and UB anywhere), then the
 #    soak smoke on the sanitized binaries.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
@@ -146,7 +204,7 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
 run_soak_smoke build-asan asan+ubsan
 
-# 6. TSan: the tests that exercise real threads (ThreadRing runtime,
+# 7. TSan: the tests that exercise real threads (ThreadRing runtime,
 #    automaton host, the threaded fault/chaos harness, the parallel
 #    schedule explorer, the sharded soak driver, and the coroutine
 #    executor's SPSC channels, Chase-Lev deques, and sleep/wake protocol
@@ -155,18 +213,18 @@ run_soak_smoke build-asan asan+ubsan
 #    races on the line.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 run_config build-tsan tsan \
-  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore|test_obs_metrics|test_obs_export|test_svc_soak|test_coro_runtime" \
+  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore|test_obs_metrics|test_obs_export|test_obs_serve|test_svc_soak|test_coro_runtime" \
   -DCOLEX_TSAN=ON
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 run_soak_smoke build-tsan tsan
 
-# 7. Bench smoke: the n=3 exhaustive sweep must finish, agree across both
+# 8. Bench smoke: the n=3 exhaustive sweep must finish, agree across both
 #    exploration engines, and show the snapshot engine >= 2x over replay
 #    (it writes BENCH_E12.json for the perf trail).
 echo "==> [bench-smoke] bench_e12_exhaustive --smoke"
 (cd build && ./bench/bench_e12_exhaustive --smoke)
 
-# 8. Observability smoke: E1 exports an instrumented trace, and the
+# 9. Observability smoke: E1 exports an instrumented trace, and the
 #    inspector must load it, audit conservation, and confirm the Theorem 1
 #    pulse bound from the recorded stream alone.
 echo "==> [obs-smoke] bench_e1_theorem1 --smoke + colex-inspect check"
@@ -176,7 +234,7 @@ echo "==> [obs-smoke] bench_e1_theorem1 --smoke + colex-inspect check"
   && ./tools/colex-inspect chrome TRACE_E1.jsonl TRACE_E1.chrome.json \
   && ./tools/colex-inspect diff TRACE_E1.jsonl TRACE_E1.jsonl >/dev/null)
 
-# 9. Fuzz smoke (on the sanitized build, so every generated schedule and
+# 10. Fuzz smoke (on the sanitized build, so every generated schedule and
 #    fault plan also runs under ASan+UBSan): a fixed-seed clean+faulty
 #    campaign must survive with no counterexample; the planted bound defect
 #    must be found, shrink to a minimal repro that replays deterministically

@@ -31,6 +31,10 @@ class Alg1Stabilizing final : public sim::PulseAutomaton {
   std::unique_ptr<sim::PulseAutomaton> clone() const override {
     return std::make_unique<Alg1Stabilizing>(*this);
   }
+  /// Probe loop until the absorbing pulse fixes a (revocable) role.
+  const char* phase() const override {
+    return role_ == Role::undecided ? "probe" : "elected";
+  }
 
   std::uint64_t id() const { return id_; }
   Role role() const { return role_; }

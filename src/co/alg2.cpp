@@ -52,8 +52,10 @@ bool Alg2Terminating::iterate(sim::PulseContext& ctx) {
   if (counters_.rho_cw == id_ && counters_.rho_ccw == id_ &&
       !initiated_termination_) {
     initiated_termination_ = true;
+    awaiting_return_ = true;   // lines 16-17; set before the send so the
+                               // termination pulse itself is attributed to
+                               // the initiated_wait phase
     send_ccw(ctx, counters_);  // line 15
-    awaiting_return_ = true;   // lines 16-17
     return true;
   }
 

@@ -31,6 +31,14 @@ class Alg2Terminating final : public sim::PulseAutomaton {
   std::unique_ptr<sim::PulseAutomaton> clone() const override {
     return std::make_unique<Alg2Terminating>(*this);
   }
+  /// Paper line ranges: probe (3-13 before a role), initiated_wait (the
+  /// unique node inside lines 16-17), elected (role fixed, draining toward
+  /// the until), done (past line 18).
+  const char* phase() const override {
+    if (done_) return "done";
+    if (awaiting_return_) return "initiated_wait";
+    return role_ == Role::undecided ? "probe" : "elected";
+  }
 
   std::uint64_t id() const { return id_; }
   Role role() const { return role_; }

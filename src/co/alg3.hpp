@@ -67,6 +67,13 @@ class Alg3NonOriented final : public sim::PulseAutomaton {
   std::unique_ptr<sim::PulseAutomaton> clone() const override {
     return std::make_unique<Alg3NonOriented>(*this);
   }
+  /// Probe until the output block fires; afterwards a node whose ports
+  /// turned out to be mounted against the elected orientation (cw_port =
+  /// Port0) reports orientation_flip, the rest report elected.
+  const char* phase() const override {
+    if (role_ == Role::undecided) return "probe";
+    return cw_port_ == sim::Port::p0 ? "orientation_flip" : "elected";
+  }
 
   /// The node's current ID: the initial one, or the latest Prop.-19 redraw.
   std::uint64_t id() const { return id_; }

@@ -24,6 +24,16 @@ Executor::Executor(std::size_t n, const std::vector<bool>& port_flips,
     deques_.push_back(std::make_unique<WorkDeque>(n));
     yields_.push_back(std::make_unique<YieldQueue>(n));
   }
+  if (options_.metrics != nullptr) {
+    // Arm the flight recorder while still single-threaded: ring creation is
+    // setup-only, and each execution context then owns exactly one ring.
+    flight_ = std::make_unique<obs::FlightRecorder>();
+    flight_rings_.reserve(worker_count_ + 1);
+    for (std::size_t w = 0; w < worker_count_; ++w) {
+      flight_rings_.push_back(&flight_->ring("worker." + std::to_string(w)));
+    }
+    flight_rings_.push_back(&flight_->ring("driver"));
+  }
 }
 
 void Executor::wake_one_worker() {
@@ -53,6 +63,7 @@ void Executor::run_node(ExecContext& ctx, std::uint32_t v) {
     nd.state.store(NodeState::done, std::memory_order_seq_cst);
     if (done_count_.fetch_add(1, std::memory_order_seq_cst) + 1 ==
         nodes_.size()) {
+      flight_record(ctx.index, "all-done", nodes_.size());
       signal_stop();  // natural termination: every node returned (Alg 2)
     }
   }
@@ -80,6 +91,8 @@ void Executor::park_worker(ExecContext& ctx) {
       quiescent_.store(true, std::memory_order_seq_cst);
       idle_workers_.fetch_sub(1, std::memory_order_seq_cst);
       lock.unlock();
+      flight_record(ctx.index, "quiescent", total_sent(),
+                    done_count_.load(std::memory_order_seq_cst));
       signal_stop();
       return;
     }
@@ -89,6 +102,9 @@ void Executor::park_worker(ExecContext& ctx) {
   }
   ctx.stats->parks.store(ctx.stats->parks.load(std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
+  flight_record(ctx.index, "park",
+                idle_workers_.load(std::memory_order_seq_cst),
+                done_count_.load(std::memory_order_seq_cst));
   park_cv_.wait(lock, [this] {
     return ready_count_.load(std::memory_order_seq_cst) != 0 ||
            stop_.load(std::memory_order_seq_cst);
@@ -144,6 +160,7 @@ void Executor::drain() {
   ExecContext ctx{&stats_[worker_count_], deques_[worker_count_].get(),
                   yields_[worker_count_].get(), worker_count_};
   current_ = &ctx;
+  std::uint64_t drained = 0;
   for (std::uint32_t v = 0; v < nodes_.size(); ++v) {
     auto& nd = nodes_[v];
     if (nd.handle.done()) continue;
@@ -152,7 +169,9 @@ void Executor::drain() {
     COLEX_ASSERT(nd.handle.done());
     nd.state.store(NodeState::done, std::memory_order_seq_cst);
     done_count_.fetch_add(1, std::memory_order_seq_cst);
+    ++drained;
   }
+  flight_record(worker_count_, "drain", drained);
   current_ = nullptr;
 }
 
@@ -165,6 +184,8 @@ void Executor::record_progress_sample(double elapsed_ms) {
      << " idle=" << idle_workers_.load() << " done=" << done_count_.load();
   // Consumed moves on every pulse absorbed anywhere: flat tail == stall.
   progress_.record(consumed, os.str());
+  flight_record(worker_count_, "progress", consumed,
+                ready_count_.load(std::memory_order_seq_cst));
 }
 
 bool Executor::run() {
@@ -205,7 +226,11 @@ bool Executor::run() {
       done_cv_.wait_until(lock, std::min(next_sample, deadline));
     }
   }
-  if (timed_out_) signal_stop();
+  if (timed_out_) {
+    flight_record(worker_count_, "timeout", options_.timeout_ms,
+                  total_consumed());
+    signal_stop();
+  }
   for (auto& t : threads) t.join();
   if (timed_out_) stall_dump_ = dump();  // snapshot before the drain mutates
   drain();
@@ -246,6 +271,17 @@ void Executor::publish_metrics(
   reg.counter("coro.done").inc(done_count_.load());
   if (quiescent_.load()) reg.counter("coro.quiescent").inc();
   if (timed_out_) reg.counter("coro.timed_out").inc();
+  // Final per-phase node distribution (where every node ended up). During
+  // a watchdog dump the same scan runs live in dump().
+  std::size_t by_phase[obs::kPhaseCount] = {};
+  for (const auto& nd : nodes_) {
+    const std::size_t i = nd.phase.load(std::memory_order_relaxed);
+    ++by_phase[i < obs::kPhaseCount ? i : 0];
+  }
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    reg.gauge(obs::labeled("coro.phase_nodes", "phase", obs::phase_name(i)))
+        .set(static_cast<double>(by_phase[i]));
+  }
 }
 
 ExecStats Executor::stats() const {
@@ -289,18 +325,36 @@ std::string Executor::dump() const {
     if (anomalies > kMaxListed) continue;
     static constexpr const char* kStates[] = {"ready", "running", "parked",
                                               "done"};
+    const std::size_t ph = nd.phase.load(std::memory_order_relaxed);
     os << "  node " << v << ": pending[p0]=" << p0 << " pending[p1]=" << p1
-       << " state=" << kStates[static_cast<std::uint32_t>(st)] << "\n";
+       << " state=" << kStates[static_cast<std::uint32_t>(st)]
+       << " phase=" << obs::phase_name(ph < obs::kPhaseCount ? ph : 0)
+       << "\n";
   }
   if (anomalies > kMaxListed) {
     os << "  ... " << (anomalies - kMaxListed)
        << " more nodes with pulses pending or not parked\n";
   }
+  // Phase distribution: where the ring's nodes are in the algorithm right
+  // now — the first thing a stall post-mortem needs.
+  std::size_t by_phase[obs::kPhaseCount] = {};
+  for (const auto& nd : nodes_) {
+    const std::size_t i = nd.phase.load(std::memory_order_relaxed);
+    ++by_phase[i < obs::kPhaseCount ? i : 0];
+  }
+  os << "  phases:";
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    if (by_phase[i] != 0) {
+      os << " " << obs::phase_name(i) << "=" << by_phase[i];
+    }
+  }
+  os << "\n";
   const std::vector<std::string> history = progress_.history();
   if (!history.empty()) {
     os << "  progress history (last " << history.size() << " samples):\n";
     for (const auto& sample : history) os << "    " << sample << "\n";
   }
+  if (flight_ != nullptr) os << "  " << flight_->render_tail(32);
   if (options_.metrics != nullptr) {
     os << "  metrics: " << options_.metrics->to_json() << "\n";
   }

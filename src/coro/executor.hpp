@@ -72,6 +72,7 @@
 
 #include "coro/deque.hpp"
 #include "coro/ring.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/port.hpp"
 #include "runtime/progress.hpp"
@@ -191,6 +192,18 @@ class Executor {
     }
   }
 
+  /// Publishes node `v`'s current algorithm phase: a relaxed store on the
+  /// node's own cache line, read by stall dumps and the per-phase node
+  /// distribution gauges. Always cheap enough to leave unconditional.
+  void set_node_phase(std::uint32_t v, obs::Phase p) {
+    nodes_[v].phase.store(static_cast<std::uint8_t>(obs::index(p)),
+                          std::memory_order_relaxed);
+  }
+
+  /// Flight recorder (armed iff a metrics registry is attached; nullptr
+  /// otherwise — zero-overhead-when-off). One ring per execution context.
+  const obs::FlightRecorder* flight() const { return flight_.get(); }
+
   bool stopping() const { return stop_.load(std::memory_order_seq_cst); }
   bool node_ready_check(std::uint32_t v) const {
     return nodes_[v].has_pending() || stopping();
@@ -297,6 +310,14 @@ class Executor {
   void record_progress_sample(double elapsed_ms);
   void publish_metrics(const std::vector<obs::Registry>& worker_registries);
 
+  /// Records a cold-path scheduler event on execution context `ctx`'s
+  /// flight ring (no-op when the recorder is off). Single-writer per ring:
+  /// context i only ever writes flight_rings_[i].
+  void flight_record(std::size_t ctx, const char* what, std::uint64_t a = 0,
+                     std::uint64_t b = 0) {
+    if (flight_ != nullptr) flight_rings_[ctx]->record(what, a, b);
+  }
+
   std::uint64_t sum(std::atomic<std::uint64_t> WorkerStats::*field) const {
     std::uint64_t total = 0;
     for (const auto& s : stats_) {
@@ -313,6 +334,10 @@ class Executor {
   // Per-worker cooperative-yield FIFOs (same worker_count_ + 1 layout).
   std::vector<std::unique_ptr<YieldQueue>> yields_;
   std::vector<WorkerStats> stats_;  // worker_count_ + 1 slots
+  // Flight recorder: rings "worker.0".."worker.W-1" plus "driver" (watchdog
+  // + drain events). Created in the constructor, before any worker spawns.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::vector<obs::FlightRing*> flight_rings_;  // worker_count_ + 1 slots
 
   std::atomic<std::uint64_t> ready_count_{0};
   std::atomic<std::size_t> idle_workers_{0};
@@ -337,6 +362,9 @@ class CoroIo {
 
   bool recv(sim::Port p) { return ex_->recv_pulse(v_, p); }
   void send(sim::Port p) { ex_->send_pulse(v_, p); }
+  /// Phase-publication extension (detected by the transcriptions via
+  /// `requires { io.set_phase(p); }`, same as BlockingPortAdapter).
+  void set_phase(obs::Phase p) { ex_->set_node_phase(v_, p); }
   Executor::WaitAnyAwaiter wait_any() {
     return Executor::WaitAnyAwaiter{ex_, v_};
   }

@@ -1,0 +1,107 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace colex::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+FlightRing::FlightRing(std::size_t capacity)
+    : slots_(new Slot[capacity == 0 ? 1 : capacity]),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRing::record(const char* what, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t seq = next_seq_.load(std::memory_order_relaxed);
+  Slot& s = slots_[seq % capacity_];
+  const std::uint64_t v = s.version.load(std::memory_order_relaxed);
+  s.version.store(v + 1);  // odd: write in progress
+  s.seq.store(seq);
+  s.t_ns.store(steady_now_ns());
+  s.what.store(what);
+  s.a.store(a);
+  s.b.store(b);
+  s.version.store(v + 2);  // even again: slot stable
+  next_seq_.store(seq + 1, std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent> FlightRing::snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& s = slots_[i];
+    const std::uint64_t v1 = s.version.load();
+    if (v1 == 0 || (v1 & 1) != 0) continue;  // never written, or mid-write
+    FlightEvent e;
+    e.seq = s.seq.load();
+    e.t_ns = s.t_ns.load();
+    e.what = s.what.load();
+    e.a = s.a.load();
+    e.b = s.b.load();
+    const std::uint64_t v2 = s.version.load();
+    if (v1 != v2) continue;  // torn: writer lapped us mid-read
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+FlightRing& FlightRecorder::ring(const std::string& name) {
+  for (auto& [n, r] : rings_) {
+    if (n == name) return r;
+  }
+  rings_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                      std::forward_as_tuple(ring_capacity_));
+  return rings_.back().second;
+}
+
+std::vector<std::pair<std::string, FlightEvent>> FlightRecorder::merged_tail(
+    std::size_t max_events) const {
+  std::vector<std::pair<std::string, FlightEvent>> all;
+  for (const auto& [name, r] : rings_) {
+    for (const FlightEvent& e : r.snapshot()) {
+      all.emplace_back(name, e);
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const auto& x, const auto& y) {
+    if (x.second.t_ns != y.second.t_ns) return x.second.t_ns < y.second.t_ns;
+    return x.second.seq < y.second.seq;
+  });
+  if (max_events != 0 && all.size() > max_events) {
+    all.erase(all.begin(),
+              all.begin() + static_cast<std::ptrdiff_t>(all.size() - max_events));
+  }
+  return all;
+}
+
+std::string FlightRecorder::render_tail(std::size_t max_events) const {
+  const auto tail = merged_tail(max_events);
+  std::ostringstream os;
+  os << "flight recorder tail (" << tail.size() << " events, " << rings_.size()
+     << " rings):\n";
+  if (tail.empty()) return os.str();
+  // Relative timestamps read better than raw steady-clock nanos: the tail
+  // is about ordering and gaps, not absolute time.
+  const std::uint64_t t0 = tail.front().second.t_ns;
+  for (const auto& [name, e] : tail) {
+    const double dt_ms = static_cast<double>(e.t_ns - t0) / 1e6;
+    os << "  +" << dt_ms << "ms [" << name << "] #" << e.seq << " " << e.what
+       << " a=" << e.a << " b=" << e.b << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace colex::obs

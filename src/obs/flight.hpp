@@ -1,0 +1,120 @@
+// Always-on flight recorder: per-writer fixed-size rings of recent events,
+// readable at any moment from any thread without stopping the writers.
+//
+// Contract
+// --------
+// * One writer per ring. Rings are created up front (before concurrent
+//   writers start) and each is then written by exactly one thread — the
+//   same single-writer-by-ownership discipline as obs::Registry. Readers
+//   (stall dumps, the /debug/flight endpoint) may snapshot concurrently at
+//   any time.
+// * Lock-free and wait-free on both sides: every slot is a seqlock (odd
+//   version = write in progress); a reader that catches a slot mid-write
+//   skips it instead of blocking the writer. All slot fields are atomics,
+//   so concurrent snapshots are race-free by construction — tearing is
+//   detected, never undefined.
+// * Zero overhead when off: every recording site in the tree is gated on a
+//   nullable FlightRecorder (or FlightRing) pointer; record() itself is a
+//   handful of stores plus one steady-clock read, cheap enough for cold
+//   control-path events (phase transitions, parks, crash/recover, election
+//   completions) but not meant for per-pulse hot paths.
+// * Event tags are static string literals. record() stores the pointer,
+//   not the bytes — passing a dynamically built string is a use-after-free
+//   waiting to happen and is the caller's bug.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace colex::obs {
+
+/// One recorded event: a writer-local sequence number, a steady-clock
+/// timestamp, a static tag, and two free-form operands.
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t t_ns = 0;  ///< steady-clock nanoseconds at record time
+  const char* what = "";   ///< static string literal
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Fixed-size single-writer ring of FlightEvents with per-slot seqlocks.
+class FlightRing {
+ public:
+  explicit FlightRing(std::size_t capacity = 64);
+  FlightRing(const FlightRing&) = delete;
+  FlightRing& operator=(const FlightRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events recorded so far (writer-side count; readers may lag).
+  std::uint64_t recorded() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  /// Writer-only. Overwrites the oldest slot once the ring is full.
+  void record(const char* what, std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Any-thread snapshot of the surviving events, ascending by seq. Slots
+  /// caught mid-write are skipped — the snapshot is a consistent sample,
+  /// not a guaranteed-complete one.
+  std::vector<FlightEvent> snapshot() const;
+
+ private:
+  struct Slot {
+    // Even = stable, odd = write in progress. Everything seq_cst: the
+    // recording sites are cold control-path events, and the single total
+    // order makes the torn-read argument airtight (a payload store cannot
+    // land between a reader's two matching version loads without the
+    // preceding odd-version store landing there too).
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> t_ns{0};
+    std::atomic<const char*> what{""};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t capacity_;
+  // Writer-owned cursor; atomic only so recorded() can be read elsewhere.
+  std::atomic<std::uint64_t> next_seq_{0};
+};
+
+/// A named set of rings — one per writer thread (worker, shard, monitor).
+/// Create every ring before the writers start; ring addresses are stable
+/// for the recorder's lifetime (deque-backed). merged_tail() interleaves
+/// all rings by timestamp, which is what stall dumps and /debug/flight
+/// want: "what was the whole system doing just before this?".
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t ring_capacity = 64)
+      : ring_capacity_(ring_capacity) {}
+
+  /// Create-or-get the ring named `name`. NOT thread-safe: call during
+  /// setup, before concurrent writers/readers exist.
+  FlightRing& ring(const std::string& name);
+
+  std::size_t ring_count() const { return rings_.size(); }
+
+  /// All rings' surviving events, interleaved by timestamp, capped to the
+  /// most recent `max_events` (0 = uncapped). Safe concurrently with
+  /// writers.
+  std::vector<std::pair<std::string, FlightEvent>> merged_tail(
+      std::size_t max_events) const;
+
+  /// Human-readable tail for stall dumps and the /debug/flight endpoint.
+  std::string render_tail(std::size_t max_events) const;
+
+ private:
+  std::size_t ring_capacity_;
+  std::deque<std::pair<std::string, FlightRing>> rings_;
+};
+
+}  // namespace colex::obs

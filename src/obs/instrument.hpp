@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "sim/explore.hpp"
 #include "sim/network.hpp"
 #include "sim/parallel.hpp"
@@ -34,6 +35,11 @@ class NetworkInstrumentation {
   explicit NetworkInstrumentation(Registry& registry, ObsOptions options)
       : registry_(registry), options_(options) {}
 
+  /// `net` must already sit in its final storage location: the phase
+  /// observer samples `net.automaton(v).phase()` through a captured
+  /// pointer, so moving the network after attach() would dangle it
+  /// (re-resolving through the network — not caching automaton pointers —
+  /// is what keeps crash/recover automaton replacement safe).
   void attach(sim::Network<P>& net, sim::BasicRunOptions<P>& opts) {
     if (!options_.enabled) return;
     const std::size_t n = net.size();
@@ -42,6 +48,10 @@ class NetworkInstrumentation {
     sends_cw_ = &registry_.counter("net.sends.cw");
     sends_ccw_ = &registry_.counter("net.sends.ccw");
     deliveries_ = &registry_.counter("net.deliveries");
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      phase_pulses_[i] =
+          &registry_.counter(labeled("pulses", "phase", phase_name(i)));
+    }
     node_sends_.reserve(n);
     node_deliveries_.reserve(n);
     for (std::size_t v = 0; v < n; ++v) {
@@ -51,10 +61,13 @@ class NetworkInstrumentation {
           &registry_.counter("node." + id + ".deliveries"));
     }
     net.chain_send_observer(
-        [this](sim::NodeId v, sim::Port, sim::Direction d) {
+        [this, net_ptr = &net](sim::NodeId v, sim::Port, sim::Direction d) {
           sends_->inc();
           (d == sim::Direction::cw ? sends_cw_ : sends_ccw_)->inc();
           node_sends_[v]->inc();
+          phase_pulses_[index(phase_from_string(net_ptr->automaton(v).phase()))]
+              ->inc();
+          ++observed_sends_;
           last_send_event_ = events_;
         });
     auto previous_deliver = opts.on_deliver;
@@ -78,10 +91,21 @@ class NetworkInstrumentation {
   }
 
   /// Publishes the end-of-run gauges from the network's ground-truth
-  /// counters. Call after net.run(); no-op when disabled.
-  void finish(const sim::Network<P>& net) {
+  /// counters. Call after net.run(); no-op when disabled. Pass the
+  /// Theorem 1 pulse bound (n(2*IDmax+1), 0 = unknown) to also latch the
+  /// bound and the remaining margin as gauges — the same numbers
+  /// colex-inspect recomputes from a recorded trace.
+  void finish(const sim::Network<P>& net, std::uint64_t pulse_bound = 0) {
     if (!options_.enabled) return;
     const auto counters = net.counters();
+    // The fabric can carry pulses no node sent (spurious injections) and
+    // lose pulses nodes did send (drops). Attribute the positive residual
+    // to the adversary phase so the per-phase series still sum to the
+    // fabric's ground-truth total on injection-heavy runs.
+    if (counters.sent > observed_sends_) {
+      phase_pulses_[index(Phase::adversary)]->inc(counters.sent -
+                                                  observed_sends_);
+    }
     registry_.gauge("net.in_transit_at_end")
         .set(static_cast<double>(counters.sent - counters.consumed));
     registry_.counter("net.faults.spurious").inc(counters.injected);
@@ -90,6 +114,12 @@ class NetworkInstrumentation {
     registry_.counter("net.faults.crashes").inc(counters.crashes);
     registry_.counter("net.faults.recoveries").inc(counters.recoveries);
     registry_.gauge("net.events").set(static_cast<double>(events_));
+    if (pulse_bound != 0) {
+      registry_.gauge("net.pulse_bound").set(static_cast<double>(pulse_bound));
+      registry_.gauge("net.pulse_margin")
+          .set(static_cast<double>(pulse_bound) -
+               static_cast<double>(counters.sent));
+    }
     if (quiescent_at_ != kUnset) {
       registry_.gauge("net.quiescence_latency_events")
           .set(static_cast<double>(quiescent_at_ - last_send_event_));
@@ -105,8 +135,10 @@ class NetworkInstrumentation {
   Counter* sends_cw_ = nullptr;
   Counter* sends_ccw_ = nullptr;
   Counter* deliveries_ = nullptr;
+  Counter* phase_pulses_[kPhaseCount] = {};
   std::vector<Counter*> node_sends_;
   std::vector<Counter*> node_deliveries_;
+  std::uint64_t observed_sends_ = 0;
   std::uint64_t events_ = 0;
   std::uint64_t last_send_event_ = 0;
   std::uint64_t quiescent_at_ = kUnset;

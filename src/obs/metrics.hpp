@@ -38,6 +38,16 @@ struct ObsOptions {
   bool enabled = false;
 };
 
+/// Composes a labeled metric name: `labeled("pulses", "phase", "probe")`
+/// yields `pulses{phase=probe}`. The Prometheus encoder (obs/serve.hpp)
+/// splits the name back at the first '{' and renders the pairs as proper
+/// label sets; the JSON snapshot keeps the composed string verbatim, so
+/// recorded and live views agree on series identity.
+inline std::string labeled(const std::string& family, const std::string& key,
+                           const std::string& value) {
+  return family + "{" + key + "=" + value + "}";
+}
+
 /// Monotonically increasing event tally.
 class Counter {
  public:
@@ -108,6 +118,19 @@ class Histogram {
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
       buckets_[i] += other.buckets_[i];
     }
+  }
+
+  /// Overwrites the recorded state wholesale — the loader path for snapshot
+  /// parsers (obs::registry_from_json) reconstituting a histogram from its
+  /// serialized count/sum/max/buckets. `buckets` must match the registered
+  /// layout (bounds_.size() + 1 entries, overflow last).
+  void restore(std::uint64_t count, double sum, double max,
+               std::vector<std::uint64_t> buckets) {
+    COLEX_EXPECTS(buckets.size() == bounds_.size() + 1);
+    count_ = count;
+    sum_ = sum;
+    max_ = max;
+    buckets_ = std::move(buckets);
   }
 
  private:
@@ -191,24 +214,45 @@ class Registry {
     return histograms_;
   }
 
+  /// JSON string escaping for metric names. Names are normally plain
+  /// identifiers (dots, braces, '='), but nothing stops a caller from
+  /// registering a name with a quote or backslash — the snapshot must stay
+  /// parseable either way (and registry_from_json undoes exactly this).
+  static void write_escaped_name(std::ostream& os, const std::string& name) {
+    os << '"';
+    for (const char c : name) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default: os << c;
+      }
+    }
+    os << '"';
+  }
+
   /// One-object JSON snapshot, insertion-ordered — embeddable verbatim in
   /// BENCH_E*.json and trace exports.
   void write_json(std::ostream& os) const {
     os << "{\"counters\":{";
     for (std::size_t i = 0; i < counters_.size(); ++i) {
       if (i) os << ",";
-      os << "\"" << counters_[i].first << "\":" << counters_[i].second->value();
+      write_escaped_name(os, counters_[i].first);
+      os << ":" << counters_[i].second->value();
     }
     os << "},\"gauges\":{";
     for (std::size_t i = 0; i < gauges_.size(); ++i) {
       if (i) os << ",";
-      os << "\"" << gauges_[i].first << "\":" << gauges_[i].second->value();
+      write_escaped_name(os, gauges_[i].first);
+      os << ":" << gauges_[i].second->value();
     }
     os << "},\"histograms\":{";
     for (std::size_t i = 0; i < histograms_.size(); ++i) {
       const Histogram& h = *histograms_[i].second;
       if (i) os << ",";
-      os << "\"" << histograms_[i].first << "\":{\"count\":" << h.count()
+      write_escaped_name(os, histograms_[i].first);
+      os << ":{\"count\":" << h.count()
          << ",\"sum\":" << h.sum() << ",\"max\":" << h.max() << ",\"bounds\":[";
       for (std::size_t b = 0; b < h.bounds().size(); ++b) {
         if (b) os << ",";

@@ -1,0 +1,80 @@
+// The shared phase vocabulary for phase-aware election telemetry.
+//
+// Every execution substrate attributes its pulses to the algorithm phase
+// the sending node was in: the sim automata report it via
+// sim::Automaton::phase(), the blocking transcriptions track it in
+// BlockingOutcome::phase_sends, and the soak harness publishes the merged
+// per-phase counters as `pulses{phase=...}` series. Using one fixed enum
+// (instead of free-form strings) keeps the per-send hot path an array
+// index and makes recorded and live series directly comparable.
+//
+// The phases map onto the paper's pseudocode:
+//  * probe            — undecided: the Algorithm 1 probe loop (lines 2-7),
+//                       Algorithm 2 before any role is fixed, Algorithm 3
+//                       before the output block has fired.
+//  * elected          — a role (Leader/Non-Leader) has been computed; the
+//                       node keeps relaying (stabilizing algorithms) or
+//                       drains toward termination (Algorithm 2 lines 9-13).
+//  * initiated_wait   — Algorithm 2 lines 14-17: the unique
+//                       rho_cw = ID = rho_ccw node sent the termination
+//                       pulse and waits for its return.
+//  * orientation_flip — Algorithm 3 output with cw_port = Port0: the node
+//                       decided its port labels were mounted against the
+//                       elected orientation.
+//  * done             — past the until in Algorithm 2 line 18 (terminated).
+//  * adversary        — not a node phase: the residual bucket for pulses
+//                       the fabric carried but no node sent (spurious
+//                       injections minus drops), so per-phase series still
+//                       sum to the fabric totals under faults.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace colex::obs {
+
+enum class Phase : std::uint8_t {
+  probe = 0,
+  elected,
+  initiated_wait,
+  orientation_flip,
+  done,
+  adversary,
+};
+
+inline constexpr std::size_t kPhaseCount = 6;
+
+constexpr std::size_t index(Phase p) { return static_cast<std::size_t>(p); }
+
+/// Stable series-label names; these strings appear verbatim as the `phase`
+/// label value in the Prometheus exposition and in sim::Automaton::phase().
+constexpr const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::probe: return "probe";
+    case Phase::elected: return "elected";
+    case Phase::initiated_wait: return "initiated_wait";
+    case Phase::orientation_flip: return "orientation_flip";
+    case Phase::done: return "done";
+    case Phase::adversary: return "adversary";
+  }
+  return "probe";
+}
+
+constexpr const char* phase_name(std::size_t i) {
+  return to_string(static_cast<Phase>(i));
+}
+
+/// Reverse lookup for phase tags reported as strings (the sim automata's
+/// virtual phase()). Unknown tags land in `probe` — a conservative default
+/// that keeps per-phase sums equal to the total.
+inline Phase phase_from_string(const char* s) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const char* name = phase_name(i);
+    std::size_t k = 0;
+    while (name[k] != '\0' && s[k] == name[k]) ++k;
+    if (name[k] == '\0' && s[k] == '\0') return static_cast<Phase>(i);
+  }
+  return Phase::probe;
+}
+
+}  // namespace colex::obs

@@ -33,28 +33,42 @@ namespace colex::rt {
 namespace detail {
 
 // Oriented-ring wrappers matching the paper's four methods (§3): sendCW
-// transmits on Port1; CW pulses arrive at Port0.
+// transmits on Port1; CW pulses arrive at Port0. The wrapper also carries
+// the node's current phase (obs/phase.hpp): every send is attributed to
+// the phase in force at the call, mirroring how the sim-side instrumention
+// samples Automaton::phase() at each genuine send, and enter() publishes
+// transitions to ports that expose the optional set_phase extension.
 template <PulsePort Io>
 struct OrientedIo {
   Io& io;
-  co::PulseCounters& k;
+  BlockingOutcome& out;
+  obs::Phase phase = obs::Phase::probe;
+
+  void enter(obs::Phase p) {
+    if (p == phase) return;
+    phase = p;
+    if constexpr (requires { io.set_phase(p); }) io.set_phase(p);
+  }
+  void count_wait() { ++out.phase_waits[obs::index(phase)]; }
 
   void send_cw() {
     io.send(co::kCwPort);
-    ++k.sigma_cw;
+    ++out.counters.sigma_cw;
+    ++out.phase_sends[obs::index(phase)];
   }
   bool recv_cw() {
     if (!io.recv(co::kCcwPort)) return false;
-    ++k.rho_cw;
+    ++out.counters.rho_cw;
     return true;
   }
   void send_ccw() {
     io.send(co::kCcwPort);
-    ++k.sigma_ccw;
+    ++out.counters.sigma_ccw;
+    ++out.phase_sends[obs::index(phase)];
   }
   bool recv_ccw() {
     if (!io.recv(co::kCwPort)) return false;
-    ++k.rho_ccw;
+    ++out.counters.rho_ccw;
     return true;
   }
 };
@@ -68,20 +82,25 @@ ElectionTask run_alg1(Io io, std::uint64_t id) {
   COLEX_EXPECTS(id >= 1);
   BlockingOutcome out;
   out.id = id;
-  detail::OrientedIo<Io> ring{io, out.counters};
+  detail::OrientedIo<Io> ring{io, out};
 
   ring.send_cw();  // line 1
   for (;;) {       // line 2
     if (ring.recv_cw()) {  // line 3
       if (out.counters.rho_cw == id) {  // line 4
         out.role = co::Role::leader;
+        ring.enter(obs::Phase::elected);
       } else {
         out.role = co::Role::non_leader;
+        ring.enter(obs::Phase::elected);
         ring.send_cw();
       }
-    } else if (!co_await io.wait_any()) {
-      out.stopped = true;  // harness: network is quiescent
-      co_return out;
+    } else {
+      ring.count_wait();
+      if (!co_await io.wait_any()) {
+        out.stopped = true;  // harness: network is quiescent
+        co_return out;
+      }
     }
   }
 }
@@ -92,7 +111,7 @@ ElectionTask run_alg2(Io io, std::uint64_t id) {
   COLEX_EXPECTS(id >= 1);
   BlockingOutcome out;
   out.id = id;
-  detail::OrientedIo<Io> ring{io, out.counters};
+  detail::OrientedIo<Io> ring{io, out};
   auto& k = out.counters;
   bool initiated = false;
 
@@ -104,8 +123,9 @@ ElectionTask run_alg2(Io io, std::uint64_t id) {
         out.role = co::Role::leader;
       } else {
         out.role = co::Role::non_leader;
-        ring.send_cw();
       }
+      ring.enter(obs::Phase::elected);
+      if (out.role == co::Role::non_leader) ring.send_cw();
       progress = true;
     }
     if (k.rho_cw >= id) {  // lines 9-13
@@ -120,8 +140,12 @@ ElectionTask run_alg2(Io io, std::uint64_t id) {
     }
     if (k.rho_cw == id && k.rho_ccw == id && !initiated) {  // lines 14-17
       initiated = true;
+      // Enter before the send: the termination pulse belongs to the
+      // initiated_wait phase (matching Alg2Terminating's ordering).
+      ring.enter(obs::Phase::initiated_wait);
       ring.send_ccw();
       while (!ring.recv_ccw()) {
+        ring.count_wait();
         if (!co_await io.wait_any()) {
           out.stopped = true;  // should never happen for Algorithm 2
           co_return out;
@@ -130,13 +154,15 @@ ElectionTask run_alg2(Io io, std::uint64_t id) {
       progress = true;
     }
     if (!progress && !(k.rho_ccw > k.rho_cw)) {
+      ring.count_wait();
       if (!co_await io.wait_any()) {
         out.stopped = true;
         co_return out;
       }
     }
   } while (!(k.rho_ccw > k.rho_cw));  // line 18
-  out.terminated = true;              // line 19: output state
+  ring.enter(obs::Phase::done);
+  out.terminated = true;  // line 19: output state
   co_return out;
 }
 
@@ -148,9 +174,16 @@ ElectionTask run_alg3(Io io, std::uint64_t id, co::IdScheme scheme) {
   out.id = id;
   const co::VirtualIds vids = co::virtual_ids(id, scheme);
 
+  obs::Phase phase = obs::Phase::probe;
+  auto enter = [&](obs::Phase p) {
+    if (p == phase) return;
+    phase = p;
+    if constexpr (requires { io.set_phase(p); }) io.set_phase(p);
+  };
   auto send_port = [&](int i) {
     io.send(sim::port_from_index(i));
     ++out.sigma_port[i];
+    ++out.phase_sends[obs::index(phase)];
   };
   auto recv_port = [&](int i) {
     if (!io.recv(sim::port_from_index(i))) return false;
@@ -176,10 +209,15 @@ ElectionTask run_alg3(Io io, std::uint64_t id, co::IdScheme scheme) {
       }
       out.cw_port =
           out.rho_port[0] > out.rho_port[1] ? sim::Port::p1 : sim::Port::p0;
+      enter(out.cw_port == sim::Port::p0 ? obs::Phase::orientation_flip
+                                         : obs::Phase::elected);
     }
-    if (!progress && !co_await io.wait_any()) {
-      out.stopped = true;
-      co_return out;
+    if (!progress) {
+      ++out.phase_waits[obs::index(phase)];
+      if (!co_await io.wait_any()) {
+        out.stopped = true;
+        co_return out;
+      }
     }
   }
 }

@@ -12,14 +12,19 @@
 // the old blocking behavior, on the worker thread that resumed it.
 #pragma once
 
+#include <array>
 #include <concepts>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "co/oriented.hpp"
 #include "co/roles.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "runtime/thread_ring.hpp"
 #include "sim/types.hpp"
 #include "util/contracts.hpp"
@@ -40,7 +45,39 @@ struct BlockingOutcome {
   /// A node that crashed and never recovered reports a default outcome with
   /// `stopped` set: its local state died with it.
   std::uint64_t restarts = 0;
+  /// Pulses sent and blocking waits entered, attributed to the algorithm
+  /// phase the node was in at the time (obs/phase.hpp). Plain coroutine
+  /// locals — always-on, deterministic, and free of synchronization; the
+  /// harnesses merge them post-join into per-phase registry series.
+  std::array<std::uint64_t, obs::kPhaseCount> phase_sends{};
+  std::array<std::uint64_t, obs::kPhaseCount> phase_waits{};
 };
+
+/// Folds the outcomes' per-phase send tallies into `registry` as
+/// `<sends_family>{phase=...}` counter series (and, when `waits_family` is
+/// non-null, the per-phase wait tallies too). Post-join only — the
+/// registry's single-writer contract.
+inline void publish_phase_pulses(obs::Registry& registry,
+                                 const std::string& sends_family,
+                                 const std::vector<BlockingOutcome>& outcomes,
+                                 const char* waits_family = nullptr) {
+  std::array<std::uint64_t, obs::kPhaseCount> sends{};
+  std::array<std::uint64_t, obs::kPhaseCount> waits{};
+  for (const auto& out : outcomes) {
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      sends[i] += out.phase_sends[i];
+      waits[i] += out.phase_waits[i];
+    }
+  }
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const char* name = obs::phase_name(i);
+    registry.counter(obs::labeled(sends_family, "phase", name)).inc(sends[i]);
+    if (waits_family != nullptr) {
+      registry.counter(obs::labeled(waits_family, "phase", name))
+          .inc(waits[i]);
+    }
+  }
+}
 
 /// The port interface an algorithm transcription compiles against:
 /// non-blocking receive, send, and an *awaitable* wait for the next pulse
@@ -129,6 +166,12 @@ class BlockingPortAdapter {
 
   bool recv(sim::Port p) { return io_.recv(p); }
   void send(sim::Port p) { io_.send(p); }
+  /// Publishes the node's current algorithm phase to the fabric (a relaxed
+  /// store on the node's own cache line) so watchdog dumps and live gauges
+  /// can see where each node is. Transcriptions detect this extension via
+  /// `requires { io.set_phase(p); }` — ports without it still satisfy
+  /// PulsePort.
+  void set_phase(obs::Phase p) { io_.set_phase(p); }
 
   struct WaitAnyAwaiter {
     NodeIo& io;

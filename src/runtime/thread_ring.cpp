@@ -25,6 +25,10 @@ bool NodeIo::wait_any() {
   if (dead()) return false;
   return ring_.wait_any(self_);
 }
+void NodeIo::set_phase(obs::Phase p) {
+  if (dead()) return;
+  ring_.set_phase(self_, p);
+}
 
 ThreadRing::ThreadRing(std::size_t n, std::vector<bool> port_flips)
     : nodes_(n) {
@@ -125,6 +129,9 @@ bool ThreadRing::wait_any(sim::NodeId v) {
     const auto ns = static_cast<std::uint64_t>(blocked);
     node.wait_count.fetch_add(1);
     node.wait_ns.fetch_add(ns);
+    const std::size_t phase = node.phase.load(std::memory_order_relaxed);
+    node.phase_wait_count[phase].fetch_add(1, std::memory_order_relaxed);
+    node.phase_wait_ns[phase].fetch_add(ns, std::memory_order_relaxed);
     // Monotonic max; only this node's worker writes, so a plain CAS loop
     // converges immediately.
     std::uint64_t cur = node.wait_max_ns.load();
@@ -151,6 +158,7 @@ void ThreadRing::crash(sim::NodeId v) {
   }
   crash_lost_.fetch_add(lost);
   crash_count_.fetch_add(1);
+  if (flight_fabric_ != nullptr) flight_fabric_->record("crash", v, lost);
   node.cv.notify_all();
   // Swallowing the pending pulses may have closed the sent==consumed gap.
   maybe_notify_monitor();
@@ -162,8 +170,12 @@ void ThreadRing::recover(sim::NodeId v) {
     std::lock_guard<std::mutex> lock(node.mutex);
     COLEX_EXPECTS(node.crashed.load());
     node.crashed.store(false);
+    // The fresh incarnation restarts its algorithm from scratch — reset the
+    // published phase with it.
+    node.phase.store(0, std::memory_order_relaxed);
   }
   recovery_count_.fetch_add(1);
+  if (flight_fabric_ != nullptr) flight_fabric_->record("recover", v);
   node.cv.notify_all();
 }
 
@@ -191,6 +203,10 @@ void ThreadRing::inject_pulse(sim::NodeId to, sim::Port p) {
     ++dest.pending[sim::index(p)];
   }
   injected_.fetch_add(1);
+  if (flight_fabric_ != nullptr) {
+    flight_fabric_->record("inject", to,
+                           static_cast<std::uint64_t>(sim::index(p)));
+  }
   dest.cv.notify_all();
 }
 
@@ -232,6 +248,9 @@ void ThreadRing::record_progress_sample(double elapsed_ms) {
   // The consumed count is the progress indicator: it moves on every pulse
   // absorbed anywhere in the fabric, so a flat tail means a genuine stall.
   progress_.record(consumed, os.str());
+  if (flight_monitor_ != nullptr) {
+    flight_monitor_->record("progress", consumed, idle_.load());
+  }
 }
 
 void ThreadRing::publish_metrics() const {
@@ -264,6 +283,35 @@ void ThreadRing::publish_metrics() const {
       waits.record(static_cast<double>(node.wait_ns.load()) / 1e6 /
                    static_cast<double>(count));
     }
+  }
+  // Phase telemetry: where every node is right now (one gauge per phase)
+  // and the per-node mean blocking wait attributed to the phase in force
+  // when the wait began (one histogram per phase, same bounds as above).
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const char* name = obs::phase_name(i);
+    std::uint64_t in_phase = 0;
+    auto& phase_waits =
+        reg.histogram(obs::labeled("rt.wait_ms", "phase", name),
+                      {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 1000.0});
+    std::uint64_t wait_count = 0;
+    std::uint64_t wait_ns = 0;
+    for (const auto& node : nodes_) {
+      if (node.phase.load(std::memory_order_relaxed) == i) ++in_phase;
+      const std::uint64_t c =
+          node.phase_wait_count[i].load(std::memory_order_relaxed);
+      const std::uint64_t ns =
+          node.phase_wait_ns[i].load(std::memory_order_relaxed);
+      wait_count += c;
+      wait_ns += ns;
+      if (c > 0) {
+        phase_waits.record(static_cast<double>(ns) / 1e6 /
+                           static_cast<double>(c));
+      }
+    }
+    reg.gauge(obs::labeled("rt.phase_nodes", "phase", name))
+        .set(static_cast<double>(in_phase));
+    reg.counter(obs::labeled("rt.waits", "phase", name)).inc(wait_count);
+    reg.counter(obs::labeled("rt.wait_ns", "phase", name)).inc(wait_ns);
   }
 }
 
@@ -309,17 +357,28 @@ bool ThreadRing::monitor(std::uint64_t timeout_ms) {
           std::chrono::duration<double, std::milli>(now - started).count());
       next_sample = now + sample_every;
     }
-    if (finished_.load() == n) return true;  // natural termination
+    if (finished_.load() == n) {  // natural termination
+      if (flight_monitor_ != nullptr) {
+        flight_monitor_->record("all-finished", sent_.load());
+      }
+      return true;
+    }
     if (candidate_quiescent()) {
       // Double-scan: re-observe after a pause to ride out races between a
       // send and the receiver waking up.
       std::this_thread::sleep_for(std::chrono::microseconds(300));
       if (candidate_quiescent()) {
+        if (flight_monitor_ != nullptr) {
+          flight_monitor_->record("quiescent", sent_.load());
+        }
         broadcast_stop();
         return true;
       }
     }
     if (std::chrono::steady_clock::now() > deadline) {
+      if (flight_monitor_ != nullptr) {
+        flight_monitor_->record("timeout", sent_.load(), consumed_.load());
+      }
       broadcast_stop();
       return false;
     }
@@ -374,10 +433,26 @@ std::string ThreadRing::dump() const {
       }
       if (epoch == fence) break;
     }
-    os << "  node " << v << ": pending[p0]=" << p0 << " pending[p1]=" << p1
-       << " sent=" << sent << " consumed=" << consumed
-       << (crashed ? " CRASHED" : "") << " epoch=" << epoch
-       << " acked=" << acked << "\n";
+    os << "  node " << v << ": phase="
+       << obs::phase_name(node.phase.load(std::memory_order_relaxed))
+       << " pending[p0]=" << p0 << " pending[p1]=" << p1 << " sent=" << sent
+       << " consumed=" << consumed << (crashed ? " CRASHED" : "")
+       << " epoch=" << epoch << " acked=" << acked << "\n";
+  }
+  // Phase distribution at the moment of the dump: the single most useful
+  // stall signal ("everyone is parked in initiated_wait" reads instantly).
+  {
+    std::uint64_t in_phase[obs::kPhaseCount] = {};
+    for (const auto& node : nodes_) {
+      ++in_phase[node.phase.load(std::memory_order_relaxed)];
+    }
+    os << "  phases:";
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      if (in_phase[i] != 0) {
+        os << " " << obs::phase_name(i) << "=" << in_phase[i];
+      }
+    }
+    os << "\n";
   }
   {
     const std::vector<std::string> history = progress_.history();
@@ -386,6 +461,7 @@ std::string ThreadRing::dump() const {
       for (const auto& sample : history) os << "    " << sample << "\n";
     }
   }
+  if (flight_ != nullptr) os << "  " << flight_->render_tail(32);
   if (metrics_ != nullptr) {
     publish_metrics();
     os << "  metrics: " << metrics_->to_json() << "\n";

@@ -36,11 +36,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "runtime/progress.hpp"
 #include "sim/types.hpp"
 #include "util/contracts.hpp"
@@ -73,6 +76,11 @@ class NodeIo {
 
   /// Pulses delivered to port `p` and not yet consumed.
   std::size_t pending(sim::Port p) const;
+
+  /// Publishes the node's current algorithm phase (one relaxed store on
+  /// the node's own state) so watchdog dumps and live per-phase gauges see
+  /// where every node is. Dead incarnations stay silent.
+  void set_phase(obs::Phase p);
 
  private:
   friend class ThreadRing;
@@ -165,8 +173,21 @@ class ThreadRing {
 
   /// Attach a caller-owned metrics registry. Must be called before worker
   /// threads start; a null registry (the default) disables the wait-timing
-  /// probes entirely.
-  void set_metrics(obs::Registry* registry) { metrics_ = registry; }
+  /// probes entirely. Attaching also arms the flight recorder: two rings
+  /// ("monitor" for the watchdog loop, "fabric" for crash/recover/inject
+  /// events from the chaos thread), whose merged tail the stall dump
+  /// embeds.
+  void set_metrics(obs::Registry* registry) {
+    metrics_ = registry;
+    if (registry != nullptr && flight_ == nullptr) {
+      flight_ = std::make_unique<obs::FlightRecorder>();
+      flight_monitor_ = &flight_->ring("monitor");
+      flight_fabric_ = &flight_->ring("fabric");
+    }
+  }
+
+  /// The armed flight recorder, or null when metrics are off.
+  const obs::FlightRecorder* flight() const { return flight_.get(); }
 
   /// Publishes per-node pulse counts, blocking-wait durations, and the
   /// global fabric counters into the attached registry. Harness-side: call
@@ -210,12 +231,23 @@ class ThreadRing {
     std::atomic<std::uint64_t> wait_count{0};
     std::atomic<std::uint64_t> wait_ns{0};
     std::atomic<std::uint64_t> wait_max_ns{0};
+    // Current algorithm phase (obs::Phase index), published by the worker
+    // at transitions; read by dumps and the per-phase gauges.
+    std::atomic<std::uint8_t> phase{0};
+    // The wait probes again, attributed to the phase in force when the
+    // wait began (metrics-gated writes, owner thread only).
+    std::atomic<std::uint64_t> phase_wait_count[obs::kPhaseCount] = {};
+    std::atomic<std::uint64_t> phase_wait_ns[obs::kPhaseCount] = {};
   };
 
   bool recv(sim::NodeId v, sim::Port p);
   void send(sim::NodeId v, sim::Port p);
   bool wait_any(sim::NodeId v);
   std::size_t pending(sim::NodeId v, sim::Port p) const;
+  void set_phase(sim::NodeId v, obs::Phase p) {
+    nodes_[v].phase.store(static_cast<std::uint8_t>(obs::index(p)),
+                          std::memory_order_relaxed);
+  }
   void broadcast_stop();
   void ack_epoch(sim::NodeId v, std::uint64_t epoch);
   bool all_epochs_acked() const;
@@ -240,6 +272,12 @@ class ThreadRing {
 
   std::vector<Node> nodes_;
   obs::Registry* metrics_ = nullptr;
+  // Armed together with metrics_ (set_metrics). Ring writers: "monitor" is
+  // written only by the monitor() thread, "fabric" only by whichever single
+  // thread drives the fault hooks (the chaos thread in run_on_threads).
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  obs::FlightRing* flight_monitor_ = nullptr;
+  obs::FlightRing* flight_fabric_ = nullptr;
   // Monitor wakeup channel: workers notify when the fabric becomes a
   // quiescence candidate; the monitor waits here (bounded by its sampling
   // cadence, so the watchdog and progress history keep their timing).

@@ -119,6 +119,13 @@ class Automaton {
   /// algorithms).
   virtual bool terminated() const { return false; }
 
+  /// The algorithm phase this node is currently in, as one of the stable
+  /// tags in obs/phase.hpp ("probe", "elected", "initiated_wait",
+  /// "orientation_flip", "done"). Phase-aware instrumentation samples this
+  /// at each send to attribute pulses to phases; the default covers
+  /// automata that never decide anything.
+  virtual const char* phase() const { return "probe"; }
+
   /// Deep copy of the automaton's current state. The fork-based schedule
   /// explorer (sim/explore.hpp) snapshots a frontier network — including
   /// every node's algorithm state — instead of replaying the schedule

@@ -1,13 +1,19 @@
 #include "svc/soak.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <deque>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/phase.hpp"
+#include "obs/serve.hpp"
 #include "runtime/progress.hpp"
 #include "sim/parallel.hpp"
 #include "util/contracts.hpp"
@@ -41,6 +47,12 @@ struct Shard {
   std::uint64_t attempts = 0;
   std::atomic<std::uint64_t> visible_finished{0};
   std::atomic<bool> done{false};
+  // Double-buffered live view: the shard thread (sole registry writer)
+  // copies its registry here roughly every 200ms; scrapes and snapshot
+  // writes merge these copies under the mutex instead of ever touching a
+  // live registry. Untouched (empty) when no server/snapshot consumer runs.
+  std::mutex snapshot_mutex;
+  obs::Registry snapshot;
 };
 
 struct SharedState {
@@ -48,10 +60,21 @@ struct SharedState {
   std::atomic<std::uint64_t> finished{0};
 };
 
-void shard_main(Shard& shard, SharedState& shared, const SoakOptions& options,
-                Clock::time_point deadline) {
+void shard_main(Shard& shard, std::size_t shard_index, SharedState& shared,
+                const SoakOptions& options, Clock::time_point deadline,
+                bool publish_live) {
   obs::Registry& reg = shard.registry;
   // Resolve metric handles once; the loop increments through references.
+  // Every family is registered here, before the first election, so even an
+  // early scrape of a zero-election shard exposes the full family set (the
+  // live scrape and the end-of-run snapshot must render the same `# TYPE`
+  // lines).
+  obs::Counter& c_elections = reg.counter("elections");
+  obs::Counter* c_phase[obs::kPhaseCount];
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    c_phase[i] =
+        &reg.counter(obs::labeled("pulses", "phase", obs::phase_name(i)));
+  }
   obs::Counter& c_started = reg.counter("svc.elections.started");
   obs::Counter& c_completed = reg.counter("svc.elections.completed");
   obs::Counter& c_retried = reg.counter("svc.elections.retried");
@@ -67,6 +90,16 @@ void shard_main(Shard& shard, SharedState& shared, const SoakOptions& options,
   obs::Counter& c_events = reg.counter("svc.events_delivered");
   obs::Histogram& h_latency =
       reg.histogram("svc.election_ms", kLatencyBoundsMs);
+  obs::Gauge& g_util = reg.gauge(obs::labeled(
+      "svc.shard_utilization", "shard", std::to_string(shard_index)));
+
+  const auto publish_snapshot = [&shard, &reg] {
+    std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+    shard.snapshot = reg;
+  };
+  const auto publish_every = std::chrono::milliseconds(200);
+  auto next_publish = Clock::now();
+  const auto t_start = Clock::now();
 
   auto should_stop = [&shared, &options, deadline] {
     const std::uint64_t finished = shared.finished.load();
@@ -99,6 +132,9 @@ void shard_main(Shard& shard, SharedState& shared, const SoakOptions& options,
     c_faults.inc(er.faults_applied);
     c_pulses.inc(er.pulses);
     c_events.inc(er.events_consumed);
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+      c_phase[p]->inc(er.phase_pulses[p]);
+    }
     if (er.completed) {
       c_completed.inc();
     } else if (er.final_outcome == sim::FaultOutcome::safety_violated) {
@@ -124,9 +160,21 @@ void shard_main(Shard& shard, SharedState& shared, const SoakOptions& options,
         shard.violations.push_back(os.str());
       }
     }
+    c_elections.inc();
     shared.finished.fetch_add(1);
     shard.visible_finished.fetch_add(1);
+    if (publish_live) {
+      const auto now = Clock::now();
+      if (now >= next_publish) {
+        g_util.set(shard.busy_seconds /
+                   std::max(1e-9, std::chrono::duration<double>(now - t_start)
+                                      .count()));
+        publish_snapshot();
+        next_publish = now + publish_every;
+      }
+    }
   }
+  if (publish_live) publish_snapshot();  // final live view before join
   shard.done.store(true);
 }
 
@@ -199,12 +247,58 @@ SoakReport run_soak(const SoakOptions& options) {
       t0 + std::chrono::duration_cast<Clock::duration>(
                std::chrono::duration<double>(options.duration_seconds));
 
+  // Live consumers (the /metrics server and the periodic snapshot file)
+  // read shard-published registry copies; shards skip the ~200ms publish
+  // entirely when nobody will read it.
+  const bool publish_live =
+      options.serve >= 0 || !options.snapshot_path.empty();
+
+  // Merged live view: shard-published snapshots plus the monitor's
+  // liveness gauges — exactly the families the final report registry
+  // carries, so a mid-run scrape and the end-of-run snapshot render the
+  // same `# TYPE` set.
+  auto merged_live = [&shards, shard_count, &shared, &options, t0] {
+    obs::Registry live;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      std::lock_guard<std::mutex> lock(shards[s].snapshot_mutex);
+      live.merge(shards[s].snapshot);
+    }
+    const double up = seconds_since(t0);
+    live.gauge("svc.uptime_seconds").set(up);
+    live.gauge("svc.rings").set(static_cast<double>(options.rings));
+    live.gauge("svc.shards").set(static_cast<double>(shard_count));
+    live.gauge("svc.elections_per_second")
+        .set(up > 0.0 ? static_cast<double>(shared.finished.load()) / up
+                      : 0.0);
+    return live;
+  };
+
+  // Monitor-side flight recorder: one ring, written only by the monitor
+  // thread, served live on /debug/flight.
+  obs::FlightRecorder flight;
+  obs::FlightRing& flight_ring = flight.ring("monitor");
+
+  std::unique_ptr<obs::MetricsServer> server;
+  if (options.serve >= 0) {
+    obs::MetricsServer::Options so;
+    so.port = static_cast<std::uint16_t>(options.serve);
+    so.metrics = merged_live;
+    so.flight = [&flight] { return flight.render_tail(64); };
+    server = std::make_unique<obs::MetricsServer>(std::move(so));
+    if (server->start()) {
+      if (options.on_serve) options.on_serve(server->port());
+    } else {
+      server.reset();  // degrade to snapshot-file-only, keep soaking
+    }
+  }
+
   std::vector<std::thread> pool;
   pool.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
-    pool.emplace_back([&shards, &shared, &options, deadline, s] {
-      shard_main(shards[s], shared, options, deadline);
-    });
+    pool.emplace_back(
+        [&shards, &shared, &options, deadline, s, publish_live] {
+          shard_main(shards[s], s, shared, options, deadline, publish_live);
+        });
   }
 
   // The calling thread is the monitor: shard-level stall watchdog plus the
@@ -240,6 +334,7 @@ SoakReport run_soak(const SoakOptions& options) {
         shard_progress[s].record(finished, os.str());
         if (!shards[s].done.load() &&
             shard_progress[s].stalled_tail(options.stall_window)) {
+          if (!shard_stalled[s]) flight_ring.record("shard-stalled", s);
           shard_stalled[s] = true;  // sticky: reported post-join
         }
       }
@@ -253,14 +348,10 @@ SoakReport run_soak(const SoakOptions& options) {
                     std::chrono::duration<double>(options.sample_every_seconds));
     }
     if (!options.snapshot_path.empty() && now >= next_snapshot) {
-      obs::Registry live;
-      live.gauge("svc.uptime_seconds").set(seconds_since(t0));
-      live.gauge("svc.rings").set(static_cast<double>(options.rings));
-      live.gauge("svc.shards").set(static_cast<double>(shard_count));
-      live.counter("svc.elections.started").inc(shared.started.load());
-      live.counter("svc.elections.finished").inc(shared.finished.load());
-      if (write_snapshot(options.snapshot_path, live)) {
+      if (write_snapshot(options.snapshot_path, merged_live())) {
         ++report.snapshots_written;
+        flight_ring.record("snapshot", report.snapshots_written,
+                           shared.finished.load());
       }
       next_snapshot =
           now + std::chrono::duration_cast<Clock::duration>(
@@ -270,6 +361,7 @@ SoakReport run_soak(const SoakOptions& options) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   for (auto& th : pool) th.join();
+  flight_ring.record("all-shards-done", shared.finished.load());
   report.wall_seconds = seconds_since(t0);
 
   // Post-join merge: single-threaded from here on.
@@ -291,7 +383,12 @@ SoakReport run_soak(const SoakOptions& options) {
     for (const auto& v : shard.violations) {
       if (report.violations.size() < 16) report.violations.push_back(v);
     }
-    report.metrics.gauge("svc.shard." + std::to_string(s) + ".utilization")
+    // Same family the shard publishes live (gauges merge by max, and a
+    // mid-run utilization can exceed the final one): overwrite with the
+    // true whole-run value.
+    report.metrics
+        .gauge(obs::labeled("svc.shard_utilization", "shard",
+                            std::to_string(s)))
         .set(stats.utilization);
   }
   report.started = shared.started.load();
@@ -324,6 +421,8 @@ SoakReport run_soak(const SoakOptions& options) {
       write_snapshot(options.snapshot_path, report.metrics)) {
     ++report.snapshots_written;
   }
+  // Stop the server before anything it scrapes goes out of scope.
+  if (server) server->stop();
   return report;
 }
 

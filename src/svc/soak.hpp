@@ -42,6 +42,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,17 @@ struct SoakOptions {
   /// prints the live counters of a running soak.
   std::string snapshot_path;
   double snapshot_every_seconds = 1.0;
+  /// When >= 0, serve a live Prometheus /metrics endpoint (obs/serve.hpp)
+  /// on 127.0.0.1:<serve> for the duration of the soak (0 = pick an
+  /// ephemeral port). Each shard publishes a snapshot of its registry
+  /// roughly every 200ms; a scrape merges the published snapshots plus the
+  /// monitor's liveness gauges — the same families the final snapshot file
+  /// renders. -1 (default) spawns no server thread at all.
+  int serve = -1;
+  /// Called once with the bound port when the server is up (ephemeral port
+  /// discovery for tools and tests). Not called if the server failed to
+  /// start — the soak then degrades to snapshot-file-only and runs on.
+  std::function<void(std::uint16_t)> on_serve;
 };
 
 struct ShardStats {

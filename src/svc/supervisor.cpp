@@ -64,6 +64,11 @@ AttemptResult run_attempt_coro(const RingSpec& spec) {
 
   AttemptResult a;
   a.on_coro = true;
+  for (const rt::BlockingOutcome& out : r.outcomes) {
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      a.phase_pulses[i] += out.phase_sends[i];
+    }
+  }
   a.pulses = r.pulses;
   a.pulse_bound = spec.pulse_bound();
   a.within_bound = a.pulses <= a.pulse_bound;
@@ -122,6 +127,21 @@ AttemptResult run_attempt(const RingSpec& spec, SoakBackend backend) {
         return fresh_node(alg, spec.ids[v]);
       });
 
+  // Phase-attribute every node send (the sender's current phase, resolved
+  // through the network so crash/recover automaton swaps stay safe). Plain
+  // stack tallies, not a registry: attempts are the soak hot loop, and the
+  // shard folds the result into its own registry post-attempt.
+  std::array<std::uint64_t, obs::kPhaseCount> phase_pulses{};
+  std::uint64_t observed_sends = 0;
+  sim::PulseNetwork* const net_ptr = &faulty.network();
+  net_ptr->chain_send_observer(
+      [net_ptr, &phase_pulses, &observed_sends](sim::NodeId v, sim::Port,
+                                                sim::Direction) {
+        ++phase_pulses[obs::index(
+            obs::phase_from_string(net_ptr->automaton(v).phase()))];
+        ++observed_sends;
+      });
+
   // The intended output: exactly one Leader, it holds the max ID, everyone
   // else decided Non-Leader — and for the terminating algorithm, everyone
   // terminated. Per-event invariant predicates are deliberately NOT wired
@@ -161,6 +181,13 @@ AttemptResult run_attempt(const RingSpec& spec, SoakBackend backend) {
   a.pulses = run.report.sent;
   a.pulse_bound = spec.pulse_bound();
   a.within_bound = a.pulses <= a.pulse_bound;
+  a.phase_pulses = phase_pulses;
+  if (a.pulses > observed_sends) {
+    // Fabric pulses no node sent (injections, duplicates): the adversary
+    // bucket keeps the per-phase series summing to the ground-truth total.
+    a.phase_pulses[obs::index(obs::Phase::adversary)] +=
+        a.pulses - observed_sends;
+  }
 
   std::size_t leaders = 0;
   for (sim::NodeId v = 0; v < n; ++v) {
@@ -212,6 +239,7 @@ ElectionReport run_supervised(const ChurnEngine& churn, std::uint64_t election,
     out.diagnosis = a.diagnosis;
     out.pulses = a.pulses;
     out.pulse_bound = a.pulse_bound;
+    out.phase_pulses = a.phase_pulses;
     out.faults_applied += a.tallies.total();
     out.events_consumed += a.report.deliveries;
     if (a.outcome == sim::FaultOutcome::recovered_correct) {

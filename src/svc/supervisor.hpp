@@ -23,9 +23,11 @@
 // either recovered_correct or (on a real bug) safety_violated.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
+#include "obs/phase.hpp"
 #include "sim/faults.hpp"
 #include "svc/churn.hpp"
 
@@ -66,6 +68,13 @@ struct AttemptResult {
   bool unique_leader = false;  ///< exactly one Leader role
   bool leader_is_max = false;  ///< and it holds the max ID
   bool on_coro = false;        ///< ran on the coroutine executor
+  /// Pulses attributed to the algorithm phase the sender was in
+  /// (obs/phase.hpp); fabric pulses no node sent (injections/duplicates)
+  /// land in the adversary bucket. On a clean attempt the array sums to
+  /// `pulses` exactly; under loss-y churn it can exceed `pulses` by the
+  /// dropped count (a dropped pulse was sent — and phase-attributed — but
+  /// the fabric's conservation counter takes it back).
+  std::array<std::uint64_t, obs::kPhaseCount> phase_pulses{};
   sim::FaultTallies tallies;
   sim::RunReport report;
 };
@@ -95,6 +104,9 @@ struct ElectionReport {
   std::uint64_t faults_applied = 0;    ///< across all attempts
   std::uint64_t events_consumed = 0;   ///< deliveries across all attempts
   std::uint64_t coro_attempts = 0;     ///< attempts run on the coro backend
+  /// Per-phase pulse attribution of the final attempt (same convention as
+  /// AttemptResult::phase_pulses: sums to `pulses`).
+  std::array<std::uint64_t, obs::kPhaseCount> phase_pulses{};
 };
 
 /// Supervises election number `election` of the engine's slot: attempt →

@@ -56,6 +56,19 @@ TEST(Histogram, BucketsByInclusiveUpperEdgeWithOverflow) {
   EXPECT_EQ(h.buckets()[2], 1u);
 }
 
+TEST(Histogram, RestoreOverwritesWholesale) {
+  Histogram h({1.0, 10.0});
+  h.record(0.5);
+  h.restore(7, 21.5, 9.0, {3, 3, 1});
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 21.5);
+  EXPECT_EQ(h.max(), 9.0);
+  EXPECT_EQ(h.buckets(), (std::vector<std::uint64_t>{3, 3, 1}));
+  // Layout is part of the registration contract: a mismatched bucket count
+  // is a corrupt snapshot, not a resize request.
+  EXPECT_THROW(h.restore(1, 1.0, 1.0, {1, 1}), util::ContractViolation);
+}
+
 TEST(Histogram, RejectsNonAscendingBounds) {
   EXPECT_THROW(Histogram({2.0, 1.0}), util::ContractViolation);
   EXPECT_THROW(Histogram({1.0, 1.0}), util::ContractViolation);
@@ -145,6 +158,24 @@ TEST(Registry, EmptyRegistrySnapshot) {
   EXPECT_TRUE(reg.empty());
   EXPECT_EQ(reg.to_json(),
             "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(Registry, LabeledComposesSeriesNames) {
+  EXPECT_EQ(labeled("pulses", "phase", "probe"), "pulses{phase=probe}");
+  Registry reg;
+  reg.counter(labeled("pulses", "phase", "probe")).inc(3);
+  reg.counter(labeled("pulses", "phase", "elected")).inc(4);
+  // Distinct label values are distinct series.
+  EXPECT_EQ(reg.counter("pulses{phase=probe}").value(), 3u);
+  EXPECT_EQ(reg.counter("pulses{phase=elected}").value(), 4u);
+}
+
+TEST(Registry, JsonEscapesMetricNames) {
+  Registry reg;
+  reg.counter("a\"b\\c\nd").inc(1);
+  EXPECT_EQ(reg.to_json(),
+            "{\"counters\":{\"a\\\"b\\\\c\\nd\":1},"
+            "\"gauges\":{},\"histograms\":{}}");
 }
 
 }  // namespace

@@ -5,9 +5,13 @@
 //   colex-inspect check   <trace.jsonl>          audit + paper pulse bounds
 //   colex-inspect chrome  <trace.jsonl> <out>    convert to Chrome trace JSON
 //   colex-inspect diff    <a.jsonl> <b.jsonl>    structural trace comparison
+//   colex-inspect metrics <trace.jsonl>          Prometheus text exposition
 //
 // Exit status: 0 clean, 1 check failed / traces differ, 2 usage or load
 // error. `check` prints one "theorem1-bound: ..." line that ci.sh greps.
+// `metrics` renders the embedded registry snapshot through the same
+// encoder the live /metrics endpoint uses, so a recorded snapshot and a
+// live scrape of identical registries are byte-comparable.
 #include <array>
 #include <cstdint>
 #include <fstream>
@@ -16,6 +20,7 @@
 #include <vector>
 
 #include "obs/export.hpp"
+#include "obs/serve.hpp"
 #include "sim/trace.hpp"
 #include "util/contracts.hpp"
 
@@ -198,13 +203,31 @@ int cmd_diff(const LoadedTrace& a, const LoadedTrace& b) {
   return same ? 0 : 1;
 }
 
+int cmd_metrics(const LoadedTrace& trace) {
+  if (trace.metrics_json.empty()) {
+    std::cerr << "colex-inspect: trace carries no metrics line\n";
+    return 2;
+  }
+  try {
+    const colex::obs::Registry reg =
+        colex::obs::registry_from_json(trace.metrics_json);
+    colex::obs::write_prometheus(std::cout, reg);
+  } catch (const std::exception& e) {
+    std::cerr << "colex-inspect: malformed metrics snapshot: " << e.what()
+              << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "usage:\n"
          "  colex-inspect summary <trace.jsonl>\n"
          "  colex-inspect check   <trace.jsonl>\n"
          "  colex-inspect chrome  <trace.jsonl> <out.json>\n"
-         "  colex-inspect diff    <a.jsonl> <b.jsonl>\n";
+         "  colex-inspect diff    <a.jsonl> <b.jsonl>\n"
+         "  colex-inspect metrics <trace.jsonl>\n";
   return 2;
 }
 
@@ -234,6 +257,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "diff" && argc == 4) {
     return cmd_diff(load_or_exit(argv[2]), load_or_exit(argv[3]));
+  }
+  if (cmd == "metrics" && argc == 3) {
+    return cmd_metrics(load_or_exit(argv[2]));
   }
   return usage();
 }

@@ -18,6 +18,12 @@
 //   --snapshot FILE     periodically rewrite FILE as a colex-trace-v1
 //                       metrics snapshot (view with `colex-inspect summary`)
 //   --snapshot-every S  snapshot cadence in seconds (default 1)
+//   --serve PORT        serve live Prometheus /metrics (plus /healthz and
+//                       /debug/flight) on 127.0.0.1:PORT for the run's
+//                       duration; 0 picks an ephemeral port. The bound
+//                       port is announced on stderr as
+//                       "serving metrics on 127.0.0.1:PORT". Scrape with
+//                       colex-top or any Prometheus client.
 //   --json              print the one-line machine-readable summary instead
 //                       of the human report
 //
@@ -43,7 +49,8 @@ int usage() {
                "             [--min-elections N] [--max-elections N]\n"
                "             [--max-attempts N] [--clean-after N]\n"
                "             [--backend sim|coro]\n"
-               "             [--snapshot FILE] [--snapshot-every S] [--json]\n";
+               "             [--snapshot FILE] [--snapshot-every S]\n"
+               "             [--serve PORT] [--json]\n";
   return 2;
 }
 
@@ -143,6 +150,9 @@ int main(int argc, char** argv) {
     } else if (a == "--snapshot-every" && has_value &&
                parse_f64(args[++i], f) && f > 0.0) {
       options.snapshot_every_seconds = f;
+    } else if (a == "--serve" && has_value && parse_u64(args[++i], u) &&
+               u <= 65535) {
+      options.serve = static_cast<int>(u);
     } else {
       return usage();
     }
@@ -151,6 +161,14 @@ int main(int argc, char** argv) {
     std::cerr << "colex-soak: --clean-after must be < --max-attempts "
                  "(the self-healing guarantee needs a clean final rung)\n";
     return 2;
+  }
+
+  if (options.serve >= 0) {
+    // Announced on stderr (unbuffered relative to the report on stdout) so
+    // scripts can discover an ephemeral port while the soak is running.
+    options.on_serve = [](std::uint16_t port) {
+      std::cerr << "serving metrics on 127.0.0.1:" << port << std::endl;
+    };
   }
 
   const svc::SoakReport report = svc::run_soak(options);
