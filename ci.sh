@@ -11,6 +11,7 @@
 #   ./ci.sh soak-smoke  just the soak gate on the default build
 #   ./ci.sh coro-smoke  just the coroutine-runtime gate on the default build
 #   ./ci.sh metrics-smoke  just the live-telemetry gate on the default build
+#   ./ci.sh socket-smoke  just the socket-transport gate on the default build
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,8 +23,9 @@ case "$mode" in
   soak-smoke|--soak-smoke) mode=soak-smoke ;;
   coro-smoke|--coro-smoke) mode=coro-smoke ;;
   metrics-smoke|--metrics-smoke) mode=metrics-smoke ;;
+  socket-smoke|--socket-smoke) mode=socket-smoke ;;
   *)
-    echo "usage: $0 [all|--smoke|lint|soak-smoke|coro-smoke|metrics-smoke]" >&2
+    echo "usage: $0 [all|--smoke|lint|soak-smoke|coro-smoke|metrics-smoke|socket-smoke]" >&2
     exit 2
     ;;
 esac
@@ -143,6 +145,26 @@ run_metrics_smoke() {
   rm -rf "$work"
 }
 
+# Socket-transport smoke: the cross-substrate conformance battery and the
+# multi-process election (real forked colex-ring node processes) must pass,
+# then bench_e18_net --smoke reruns socket-vs-coro head to head and writes
+# BENCH_E18.json; the gates checked on the artifact are exact paper pulse
+# counts everywhere (including the merged multi-process Theorem 1 total)
+# and wire-level conservation: sent == consumed == bytes each way.
+run_socket_smoke() {
+  local dir="$1" label="$2"
+  echo "==> [$label] socket smoke: conformance + multi-process + E18 gates"
+  cmake --build "$dir" -j "$jobs" \
+      --target test_transport_conformance test_net_multiprocess \
+      colex-ring bench_e18_net >/dev/null
+  (cd "$dir" && ctest --output-on-failure \
+      -R "test_transport_conformance|test_net_multiprocess")
+  (cd "$dir" && ./bench/bench_e18_net --smoke)
+  grep -q '"gate_multiproc_ok": true' "$dir/BENCH_E18.json"
+  grep -q '"gate_wire_conserved": true' "$dir/BENCH_E18.json"
+  grep -q '"gate_ok": true' "$dir/BENCH_E18.json"
+}
+
 if [ "$mode" = lint ]; then
   run_lint
   echo "==> lint green"
@@ -170,6 +192,13 @@ if [ "$mode" = metrics-smoke ]; then
   exit 0
 fi
 
+if [ "$mode" = socket-smoke ]; then
+  cmake -B build -S . -DCOLEX_WERROR=ON >/dev/null
+  run_socket_smoke build default
+  echo "==> socket smoke green"
+  exit 0
+fi
+
 # 1. Default configuration: full tier-1 suite. -DCOLEX_WERROR=ON is the
 #    CMake default; pinned here so a cached build tree can never drop it.
 run_config build default "" -DCOLEX_WERROR=ON
@@ -188,9 +217,13 @@ run_coro_smoke build default
 #    mid-soak and agree family-for-family with the recorded rendering.
 run_metrics_smoke build default
 
+# 5b. Socket-transport smoke on the default build: conformance battery,
+#     forked multi-process election, and the E18 exactness gates.
+run_socket_smoke build default
+
 if [ "$mode" = smoke ]; then
   echo "==> smoke green (default build + ctest + lint + soak + coro" \
-       "+ metrics smoke)"
+       "+ metrics + socket smoke)"
   exit 0
 fi
 
@@ -203,17 +236,22 @@ run_config build-asan asan+ubsan "" \
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
 run_soak_smoke build-asan asan+ubsan
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+run_socket_smoke build-asan asan+ubsan
 
 # 7. TSan: the tests that exercise real threads (ThreadRing runtime,
 #    automaton host, the threaded fault/chaos harness, the parallel
 #    schedule explorer, the sharded soak driver, and the coroutine
 #    executor's SPSC channels, Chase-Lev deques, and sleep/wake protocol
 #    under multi-worker stealing — including the metrics layer's
-#    per-subtree registry ownership), then the soak smoke with real data
-#    races on the line.
+#    per-subtree registry ownership, plus the socket transport's
+#    node-thread/coordinator handoff and its single-process framing tests;
+#    the fork()ing multi-process test stays out, TSan cannot follow forks),
+#    then the soak smoke with real data races on the line.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 run_config build-tsan tsan \
-  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore|test_obs_metrics|test_obs_export|test_obs_serve|test_svc_soak|test_coro_runtime" \
+  "test_runtime|test_runtime_faults|test_automaton_host|test_parallel_explore|test_obs_metrics|test_obs_export|test_obs_serve|test_svc_soak|test_coro_runtime|test_transport_conformance|test_net_framing" \
   -DCOLEX_TSAN=ON
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 run_soak_smoke build-tsan tsan

@@ -35,12 +35,7 @@ CoroRunResult run_on_coro(const std::vector<std::uint64_t>& ids,
   for (const auto& task : tasks) {
     result.outcomes.push_back(task.outcome());  // rethrows algorithm errors
   }
-  for (sim::NodeId v = 0; v < n; ++v) {
-    if (result.outcomes[v].role == co::Role::leader) {
-      ++result.leader_count;
-      if (!result.leader) result.leader = v;
-    }
-  }
+  rt::tally_leaders(result);
   if (options.metrics != nullptr) {
     // Per-phase pulse/wait series plus the Theorem 1 margin, mirroring
     // run_on_threads (the coroutine fabric is clean: no injected pulses to

@@ -21,17 +21,10 @@ struct CoroRunOptions {
   obs::Registry* metrics = nullptr;   ///< merged per-worker registries
 };
 
-/// Mirrors rt::ThreadRunResult (minus the fault-hook counters: the
-/// coroutine runtime runs clean fabrics; fault injection lives on sim and
-/// ThreadRing).
-struct CoroRunResult {
-  std::vector<rt::BlockingOutcome> outcomes;
-  std::uint64_t pulses = 0;      ///< total pulses sent on the fabric
-  bool completed = false;        ///< quiescence or natural termination
-  std::size_t leader_count = 0;
-  std::optional<sim::NodeId> leader;
-  /// Non-empty iff the watchdog fired (`completed == false`).
-  std::string stall_dump;
+/// The substrate-agnostic rt::TransportRunResult shape (no fault-hook
+/// counters: the coroutine runtime runs clean fabrics; fault injection
+/// lives on sim and ThreadRing) plus the executor's scheduler telemetry.
+struct CoroRunResult : rt::TransportRunResult {
   ExecStats stats;               ///< scheduler telemetry (always on)
 };
 

@@ -1,0 +1,93 @@
+// The ring coordinator: forms the ring (JOIN/PEERS/READY/GO), detects
+// distributed quiescence, broadcasts STOP, and collects per-node RESULTs.
+// One instance per run; single-threaded, one poll() event loop.
+//
+// Quiescence detection
+// --------------------
+// The fabric is quiescent when every node is idle (or terminated) and no
+// pulse is in flight — on TCP, "in flight" includes kernel socket buffers,
+// so no single observer can see it directly. The coordinator uses a
+// Mattern-style four-counter protocol:
+//
+//  1. Nodes REPORT {state, sent, consumed} every time they enter an idle
+//     wait or terminate. When the latest reports are all idle/done and the
+//     sent/consumed sums balance, quiescence is *plausible* — but reports
+//     are stale snapshots, so this alone is unsound (a pulse consumed after
+//     its sender's report can make stale sums balance spuriously).
+//  2. The coordinator then runs PROBE rounds. A node acks a probe only from
+//     a provably idle state: every send flushed, every arrival consumed
+//     (node.cpp defers the ack otherwise). One round therefore yields a
+//     consistent-cut-free snapshot S_k/C_k of the counter sums.
+//  3. Quiescence is declared only after two consecutive rounds k, k+1 with
+//     all nodes idle/done, S_k == S_{k+1}, C_k == C_{k+1} and S == C:
+//     round k+1 starts strictly after round k completes, so any pulse that
+//     was hiding in a buffer during round k would have bumped a counter by
+//     round k+1. Counters are monotone, so equal sums across the gap prove
+//     nothing moved — and S == C with nothing moving means nothing is in
+//     flight anywhere.
+//
+// A run that cannot settle (node error, EOF, watchdog expiry) aborts with a
+// stall dump of every node's last known report — never a silent hang.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/flight.hpp"
+
+namespace colex::net {
+
+struct CoordinatorOptions {
+  std::uint32_t ring_size = 0;
+  std::uint64_t timeout_ms = 30'000;
+  /// Control-plane listen port (0 = kernel-assigned ephemeral).
+  std::uint16_t port = 0;
+  obs::FlightRing* flight = nullptr;
+};
+
+/// What the coordinator learned from one completed (or aborted) run.
+struct CoordinatorResult {
+  bool completed = false;
+  /// Non-empty iff the run aborted: cause plus per-node post-mortem.
+  std::string error;
+  /// Index-ordered per-node outcomes (RESULT frames); full iff completed.
+  std::vector<DecodedResult> results;
+  std::uint64_t total_sent = 0;
+  std::uint64_t total_consumed = 0;
+  std::uint64_t probe_rounds = 0;  ///< probe rounds run (>= 2 on success)
+  std::uint64_t reports = 0;       ///< REPORT frames processed
+};
+
+/// Binds its listener at construction — before a multi-process harness
+/// forks, so children can connect immediately and inherit no race — then
+/// run() drives the whole protocol synchronously.
+class Coordinator {
+ public:
+  explicit Coordinator(const CoordinatorOptions& options);
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  bool ok() const { return init_error_.empty(); }
+  const std::string& init_error() const { return init_error_; }
+  /// The bound control-plane port (valid when ok()).
+  std::uint16_t port() const { return port_; }
+
+  /// Fork hygiene: children inherit the listener descriptor; each child
+  /// must drop it so the kernel keeps exactly one acceptor.
+  void close_listener_in_child() { listener_.reset(); }
+
+  /// Runs formation, the election, quiescence detection, STOP and RESULT
+  /// collection. Returns when all results are in or the watchdog expires.
+  CoordinatorResult run();
+
+ private:
+  CoordinatorOptions options_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::string init_error_;
+};
+
+}  // namespace colex::net

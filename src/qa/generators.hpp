@@ -5,7 +5,7 @@
 // orientation), the algorithm under test, the schedule (either a seed for a
 // generated biased-walk/mixture scheduler or an explicit recorded tape of
 // channel choices), and a sim::FaultPlan within the documented fault
-// boundaries (DESIGN.md §11) plus an optional declarative state corruption.
+// boundaries (DESIGN.md §12) plus an optional declarative state corruption.
 // generate_case(seed) is a pure function of (seed, options): the same seed
 // always yields the same case, which is what makes fuzz campaigns, shrinking
 // and committed repro files reproducible.

@@ -10,6 +10,7 @@
 #include "co/invariants.hpp"
 #include "co/oriented.hpp"
 #include "coro/run.hpp"
+#include "net/run.hpp"
 #include "runtime/blocking_algs.hpp"
 #include "sim/explore.hpp"
 #include "sim/faults.hpp"
@@ -413,6 +414,35 @@ std::string check_runtime_agreement(const FuzzCase& c,
   if (coroed.pulses != exact_pulses(c)) {
     return "pulse count: coro runtime " + std::to_string(coroed.pulses) +
            ", paper predicts " + std::to_string(exact_pulses(c));
+  }
+  // Fourth substrate: real TCP sockets on loopback — small rings only (each
+  // node costs a thread plus four descriptors, and the oracle runs inside
+  // fuzz campaigns).
+  if (c.n() <= 8) {
+    net::SocketRunOptions sopts;
+    sopts.timeout_ms = timeout_ms;
+    const net::SocketRunResult socketed =
+        net::run_on_sockets(c.ids, c.port_flips, alg, sopts);
+    if (!socketed.completed) {
+      return "socket runtime did not settle: " + socketed.stall_dump;
+    }
+    if (socketed.leader_count != sim_run.leader_count) {
+      return "leader count: socket " + std::to_string(socketed.leader_count) +
+             " vs sim " + std::to_string(sim_run.leader_count);
+    }
+    if (socketed.leader != sim_run.leader) {
+      return "leader identity differs between socket runtime and sim";
+    }
+    if (socketed.pulses != exact_pulses(c)) {
+      return "pulse count: socket runtime " +
+             std::to_string(socketed.pulses) + ", paper predicts " +
+             std::to_string(exact_pulses(c));
+    }
+    if (socketed.consumed != socketed.pulses) {
+      return "socket runtime conservation: sent " +
+             std::to_string(socketed.pulses) + " != consumed " +
+             std::to_string(socketed.consumed);
+    }
   }
   return {};
 }

@@ -95,10 +95,11 @@ std::vector<std::string> property_names(const FuzzCase& c,
 std::string check_engine_agreement(const FuzzCase& c, std::uint64_t budget);
 
 /// Cross-substrate oracle: runs the same ids/orientation on the ThreadRing
-/// runtime AND the coroutine executor (two workers) and requires all three
-/// substrates — simulator, threads, coroutines — to produce the same
-/// leader set and the exact paper-predicted pulse count. Clean cases only.
-/// Empty = agree.
+/// runtime, the coroutine executor (two workers) and — for rings of at most
+/// eight nodes — the real-socket backend, and requires every substrate to
+/// agree with the simulator on the leader set and the exact paper-predicted
+/// pulse count (the socket leg additionally proves sent == consumed at
+/// quiescence). Clean cases only. Empty = agree.
 std::string check_runtime_agreement(const FuzzCase& c,
                                     std::uint64_t timeout_ms = 30'000);
 

@@ -79,12 +79,7 @@ ThreadRunResult run_on_threads(const std::vector<std::uint64_t>& ids,
   } else {
     ring.publish_metrics();
   }
-  for (sim::NodeId v = 0; v < n; ++v) {
-    if (result.outcomes[v].role == co::Role::leader) {
-      ++result.leader_count;
-      if (!result.leader) result.leader = v;
-    }
-  }
+  tally_leaders(result);
   if (metrics != nullptr) {
     publish_phase_pulses(*metrics, "rt.pulses", result.outcomes);
     // Theorem 1 margin as gauges: bound by algorithm family (Corollary 13

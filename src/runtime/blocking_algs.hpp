@@ -252,19 +252,13 @@ BlockingOutcome run_alg2_blocking(NodeIo io, std::uint64_t id);
 BlockingOutcome run_alg3_blocking(NodeIo io, std::uint64_t id,
                                   co::IdScheme scheme);
 
-struct ThreadRunResult {
-  std::vector<BlockingOutcome> outcomes;
-  std::uint64_t pulses = 0;       ///< total pulses sent on the fabric
-  bool completed = false;         ///< quiescence or natural termination
-  std::size_t leader_count = 0;
-  std::optional<sim::NodeId> leader;
+/// ThreadRing's run result: the substrate-agnostic TransportRunResult shape
+/// (outcomes, pulses, completion, leader tally, stall post-mortem from
+/// ThreadRing::dump()) plus the fault-hook counters only this substrate
+/// has.
+struct ThreadRunResult : TransportRunResult {
   std::uint64_t crashes = 0;      ///< crash() events during the run
   std::uint64_t recoveries = 0;   ///< recover() events during the run
-  /// Non-empty iff the run timed out (`completed == false`): the watchdog's
-  /// per-node post-mortem (pending ports, sent/consumed counters, crash
-  /// flags) from ThreadRing::dump(), so a stalled run aborts with evidence
-  /// instead of hanging.
-  std::string stall_dump;
 };
 
 /// A fault script run concurrently with the algorithms, in its own thread:

@@ -1,15 +1,16 @@
-// The execution-model seam shared by ThreadRing and the coroutine runtime
-// (src/coro): one port interface, one coroutine task type, and an adapter
-// that lets the *same* algorithm transcription run on both.
+// The execution-model seam shared by ThreadRing, the coroutine runtime
+// (src/coro), and the socket backend (src/net): one coroutine task type,
+// one per-node outcome record, and one run-result shape, over the
+// Transport/PulsePort concepts of runtime/transport.hpp.
 //
 // The paper's pseudocode is transcribed once, as a template coroutine over a
 // `PulsePort` (blocking_algs.hpp). The only operation that can block is
 // wait_any(), so it is the only awaitable; recv()/send() are plain calls.
 // On the coroutine runtime the awaitable parks the node until a pulse
-// arrives. On ThreadRing, BlockingPortAdapter wraps NodeIo with an awaitable
-// that performs the blocking wait inside await_ready() and never suspends —
-// the coroutine therefore runs to completion in one resume, byte-for-byte
-// the old blocking behavior, on the worker thread that resumed it.
+// arrives. On the blocking substrates (ThreadRing, src/net), TransportPort
+// performs the blocking wait inside await_ready() and never suspends — the
+// coroutine therefore runs to completion in one resume, byte-for-byte the
+// old blocking behavior, on the thread that resumed it.
 #pragma once
 
 #include <array>
@@ -17,6 +18,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +28,7 @@
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "runtime/thread_ring.hpp"
+#include "runtime/transport.hpp"
 #include "sim/types.hpp"
 #include "util/contracts.hpp"
 
@@ -79,20 +82,36 @@ inline void publish_phase_pulses(obs::Registry& registry,
   }
 }
 
-/// The port interface an algorithm transcription compiles against:
-/// non-blocking receive, send, and an *awaitable* wait for the next pulse
-/// (which the harness can interrupt once global quiescence is certain).
-/// wait_any()'s awaitable must resume with `bool`: false when the harness
-/// stopped the run, true otherwise. True does NOT promise a pulse —
-/// wakeups may be spurious (condvar semantics on ThreadRing, a stale
-/// producer CAS on the coroutine executor), so transcriptions re-poll
-/// recv() and wait again.
-template <class Io>
-concept PulsePort = requires(Io io, sim::Port p) {
-  { io.recv(p) } -> std::convertible_to<bool>;
-  io.send(p);
-  io.wait_any();  // awaitable; resumes with bool
+/// The substrate-agnostic result of one blocking-style run: every backend
+/// that drives the transcriptions to completion (ThreadRing, the coroutine
+/// executor, the socket fabric) reports this same shape, which is what
+/// makes the cross-substrate conformance suite a field-by-field comparison.
+/// Backends extend it with their substrate-specific telemetry
+/// (ThreadRunResult adds fault counters, CoroRunResult scheduler stats,
+/// net::SocketRunResult wire counters).
+struct TransportRunResult {
+  std::vector<BlockingOutcome> outcomes;
+  std::uint64_t pulses = 0;  ///< total pulses sent on the fabric
+  bool completed = false;    ///< quiescence or natural termination
+  std::size_t leader_count = 0;
+  std::optional<sim::NodeId> leader;
+  /// Non-empty iff the run failed to settle (`completed == false`): the
+  /// substrate's post-mortem, so a stalled run aborts with evidence.
+  std::string stall_dump;
 };
+
+/// Folds `outcomes` into the leader tally fields (leader_count and the
+/// first leader's index) — identical logic previously repeated per backend.
+inline void tally_leaders(TransportRunResult& r) {
+  r.leader_count = 0;
+  r.leader.reset();
+  for (sim::NodeId v = 0; v < r.outcomes.size(); ++v) {
+    if (r.outcomes[v].role == co::Role::leader) {
+      ++r.leader_count;
+      if (!r.leader) r.leader = v;
+    }
+  }
+}
 
 /// Coroutine handle for one node's election run. Lazy-started: the creator
 /// decides when (and on which thread) the body first runs. The outcome is
@@ -154,40 +173,20 @@ class ElectionTask {
   Handle handle_;
 };
 
-/// ThreadRing-side PulsePort: wraps a NodeIo so the template coroutine
-/// transcriptions run on it unchanged. The wait_any() awaitable blocks
-/// inside await_ready() (on the node's condition variable, via
-/// NodeIo::wait_any) and always reports ready, so the coroutine never
-/// actually suspends — resuming it once runs the algorithm to completion
-/// exactly as the plain blocking function did.
-class BlockingPortAdapter {
- public:
-  explicit BlockingPortAdapter(NodeIo io) : io_(io) {}
+// NodeIo models the transport seam natively (wait blocks on the node's
+// condition variable; stop/crash make it return false), so the ThreadRing
+// PulsePort is just the generic blocking adapter instantiated over it. The
+// socket backend (src/net) plugs its endpoint handle into the exact same
+// template — that is the whole point of the seam.
+static_assert(Transport<NodeIo>);
 
-  bool recv(sim::Port p) { return io_.recv(p); }
-  void send(sim::Port p) { io_.send(p); }
-  /// Publishes the node's current algorithm phase to the fabric (a relaxed
-  /// store on the node's own cache line) so watchdog dumps and live gauges
-  /// can see where each node is. Transcriptions detect this extension via
-  /// `requires { io.set_phase(p); }` — ports without it still satisfy
-  /// PulsePort.
-  void set_phase(obs::Phase p) { io_.set_phase(p); }
-
-  struct WaitAnyAwaiter {
-    NodeIo& io;
-    bool result = false;
-    bool await_ready() {
-      result = io.wait_any();  // the blocking wait happens here
-      return true;             // never suspend
-    }
-    void await_suspend(std::coroutine_handle<>) {}
-    bool await_resume() const { return result; }
-  };
-  WaitAnyAwaiter wait_any() { return WaitAnyAwaiter{io_}; }
-
- private:
-  NodeIo io_;
-};
+/// ThreadRing-side PulsePort: TransportPort over a NodeIo, so the template
+/// coroutine transcriptions run on it unchanged. The wait_any() awaitable
+/// blocks inside await_ready() (on the node's condition variable, via
+/// NodeIo::wait) and always reports ready, so the coroutine never actually
+/// suspends — resuming it once runs the algorithm to completion exactly as
+/// the plain blocking function did.
+using BlockingPortAdapter = TransportPort<NodeIo>;
 
 static_assert(PulsePort<BlockingPortAdapter>);
 

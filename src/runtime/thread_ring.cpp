@@ -9,6 +9,8 @@ namespace colex::rt {
 
 bool NodeIo::dead() const { return ring_.crash_epoch(self_) != epoch_; }
 
+bool NodeIo::stopped() const { return ring_.stopped() || dead(); }
+
 bool NodeIo::recv(sim::Port p) {
   if (dead()) return false;
   return ring_.recv(self_, p);

@@ -74,6 +74,24 @@ class NodeIo {
   /// incarnation has been crashed; the algorithm should then return.
   bool wait_any();
 
+  // --- rt::Transport surface (runtime/transport.hpp) --------------------
+  //
+  // NodeIo is the in-process reference model of the transport concept the
+  // socket backend (src/net) implements over real file descriptors: the
+  // same blocking wait, the same stop semantics, a no-op teardown (the
+  // fabric owns the condvar ports and outlives every handle).
+
+  /// Transport::wait(): the blocking wait under its seam name.
+  bool wait() { return wait_any(); }
+
+  /// Transport::stopped(): true once the harness broadcast stop or this
+  /// incarnation was crashed — wait()/wait_any() can only return false.
+  bool stopped() const;
+
+  /// Transport::shutdown(): idempotent no-op. ThreadRing owns the port
+  /// state; a handle holds nothing that needs releasing.
+  void shutdown() {}
+
   /// Pulses delivered to port `p` and not yet consumed.
   std::size_t pending(sim::Port p) const;
 

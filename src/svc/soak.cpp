@@ -84,6 +84,7 @@ void shard_main(Shard& shard, std::size_t shard_index, SharedState& shared,
   obs::Counter& c_safety = reg.counter("svc.elections.safety_violated");
   obs::Counter& c_attempts = reg.counter("svc.attempts");
   obs::Counter& c_coro_attempts = reg.counter("svc.attempts_coro");
+  obs::Counter& c_socket_attempts = reg.counter("svc.attempts_socket");
   obs::Counter& c_retries = reg.counter("svc.retries");
   obs::Counter& c_faults = reg.counter("svc.faults_applied");
   obs::Counter& c_pulses = reg.counter("svc.pulses");
@@ -125,6 +126,7 @@ void shard_main(Shard& shard, std::size_t shard_index, SharedState& shared,
     shard.attempts += er.attempts;
     c_attempts.inc(er.attempts);
     c_coro_attempts.inc(er.coro_attempts);
+    c_socket_attempts.inc(er.socket_attempts);
     if (er.attempts > 1) {
       c_retried.inc();
       c_retries.inc(er.attempts - 1);
@@ -211,6 +213,7 @@ std::string SoakReport::to_json() const {
      << ",\"safety_violated\":" << safety_violated
      << ",\"attempts\":" << attempts
      << ",\"coro_attempts\":" << coro_attempts
+     << ",\"socket_attempts\":" << socket_attempts
      << ",\"backend\":\"" << backend << "\""
      << ",\"faults_applied\":" << faults_applied
      << ",\"elections_per_second\":" << elections_per_second
@@ -401,6 +404,8 @@ SoakReport run_soak(const SoakOptions& options) {
       counter_value(report.metrics, "svc.elections.safety_violated");
   report.attempts = counter_value(report.metrics, "svc.attempts");
   report.coro_attempts = counter_value(report.metrics, "svc.attempts_coro");
+  report.socket_attempts =
+      counter_value(report.metrics, "svc.attempts_socket");
   report.backend = to_string(options.policy.backend);
   report.faults_applied =
       counter_value(report.metrics, "svc.faults_applied");

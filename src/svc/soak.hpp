@@ -114,6 +114,7 @@ struct SoakReport {
   std::uint64_t safety_violated = 0;
   std::uint64_t attempts = 0;
   std::uint64_t coro_attempts = 0;  ///< attempts run on the coro backend
+  std::uint64_t socket_attempts = 0;  ///< attempts run on the socket backend
   std::string backend = "sim";      ///< substrate clean attempts ran on
   std::uint64_t faults_applied = 0;
   double wall_seconds = 0.0;

@@ -7,6 +7,7 @@
 #include "co/alg2.hpp"
 #include "co/roles.hpp"
 #include "coro/run.hpp"
+#include "net/run.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
 #include "util/contracts.hpp"
@@ -14,7 +15,11 @@
 namespace colex::svc {
 
 const char* to_string(SoakBackend backend) {
-  return backend == SoakBackend::coro ? "coro" : "sim";
+  switch (backend) {
+    case SoakBackend::coro: return "coro";
+    case SoakBackend::socket: return "socket";
+    default: return "sim";
+  }
 }
 
 bool backend_from_string(const std::string& s, SoakBackend& out) {
@@ -24,6 +29,10 @@ bool backend_from_string(const std::string& s, SoakBackend& out) {
   }
   if (s == "coro") {
     out = SoakBackend::coro;
+    return true;
+  }
+  if (s == "socket") {
+    out = SoakBackend::socket;
     return true;
   }
   return false;
@@ -106,6 +115,64 @@ AttemptResult run_attempt_coro(const RingSpec& spec) {
   return a;
 }
 
+/// Clean-attempt path on the real-socket backend: the same ring runs as
+/// one thread per node over loopback TCP, with quiescence proven by the
+/// coordinator's four-counter probe protocol instead of an in-process
+/// fabric. Same stall semantics as the coro path — a watchdog expiry is
+/// `stalled` without escalation.
+AttemptResult run_attempt_socket(const RingSpec& spec) {
+  const std::uint64_t id_max = spec.id_max();
+  const rt::ThreadAlg alg =
+      spec.alg == SoakAlg::alg1 ? rt::ThreadAlg::alg1 : rt::ThreadAlg::alg2;
+
+  net::SocketRunOptions sopts;
+  sopts.timeout_ms = 10'000;
+  const net::SocketRunResult r = net::run_on_sockets(spec.ids, {}, alg, sopts);
+
+  AttemptResult a;
+  a.on_socket = true;
+  for (const rt::BlockingOutcome& out : r.outcomes) {
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      a.phase_pulses[i] += out.phase_sends[i];
+    }
+  }
+  a.pulses = r.pulses;
+  a.pulse_bound = spec.pulse_bound();
+  a.within_bound = a.pulses <= a.pulse_bound;
+  a.unique_leader = r.leader_count == 1;
+  a.leader_is_max = r.leader.has_value() && spec.ids[*r.leader] == id_max;
+  a.report.sent = r.pulses;
+  a.report.deliveries = r.consumed;  // wire conservation: sent == consumed
+  a.report.quiescent = r.completed;
+
+  if (!r.completed) {
+    a.outcome = sim::FaultOutcome::stalled;
+    a.diagnosis = "socket attempt hit the stall watchdog: " + r.stall_dump;
+    return a;
+  }
+  bool decided = a.unique_leader && a.leader_is_max;
+  for (const rt::BlockingOutcome& out : r.outcomes) {
+    if (out.role == co::Role::undecided) decided = false;
+    if (spec.alg == SoakAlg::alg2 && !out.terminated && !out.stopped) {
+      decided = false;
+    }
+  }
+  a.report.all_terminated = decided && spec.alg == SoakAlg::alg2;
+  if (!decided) {
+    a.outcome = sim::FaultOutcome::safety_violated;
+    a.diagnosis = "clean socket attempt settled without a valid election: " +
+                  std::to_string(r.leader_count) + " leaders";
+  } else if (!a.within_bound) {
+    a.outcome = sim::FaultOutcome::safety_violated;
+    a.diagnosis = "clean socket run exceeded the Theorem 1 pulse bound: " +
+                  std::to_string(a.pulses) + " > " +
+                  std::to_string(a.pulse_bound);
+  } else {
+    a.outcome = sim::FaultOutcome::recovered_correct;
+  }
+  return a;
+}
+
 }  // namespace
 
 AttemptResult run_attempt(const RingSpec& spec, SoakBackend backend) {
@@ -113,6 +180,9 @@ AttemptResult run_attempt(const RingSpec& spec, SoakBackend backend) {
   COLEX_EXPECTS(spec.max_events > 0);
   if (backend == SoakBackend::coro && spec.faults.trivial()) {
     return run_attempt_coro(spec);
+  }
+  if (backend == SoakBackend::socket && spec.faults.trivial()) {
+    return run_attempt_socket(spec);
   }
   const std::size_t n = spec.ids.size();
   const std::uint64_t id_max = spec.id_max();
@@ -235,6 +305,7 @@ ElectionReport run_supervised(const ChurnEngine& churn, std::uint64_t election,
     const AttemptResult a = run_attempt(spec, policy.backend);
     out.attempts = attempt + 1;
     out.coro_attempts += a.on_coro ? 1 : 0;
+    out.socket_attempts += a.on_socket ? 1 : 0;
     out.final_outcome = a.outcome;
     out.diagnosis = a.diagnosis;
     out.pulses = a.pulses;

@@ -34,14 +34,16 @@
 namespace colex::svc {
 
 /// Execution substrate for soak attempts. Fault injection lives on the
-/// simulator, so the coroutine backend takes over exactly the attempts
-/// whose churn plan is provably trivial(): with `coro` selected, clean
-/// attempts (including every rung from clean_after_attempts on) run as real
-/// coroutines on the work-stealing executor, while faulty attempts still go
-/// through sim::FaultyNetwork. The service-level contract is unchanged —
-/// the coro path checks the same unique-max-leader and Theorem 1 bound
-/// predicates against the executor's conserved pulse counters.
-enum class SoakBackend { sim, coro };
+/// simulator, so the non-sim backends take over exactly the attempts whose
+/// churn plan is provably trivial(): with `coro` selected, clean attempts
+/// (including every rung from clean_after_attempts on) run as real
+/// coroutines on the work-stealing executor; with `socket` they run as
+/// real TCP rings on loopback (one thread per node plus a quiescence
+/// coordinator, src/net). Faulty attempts always go through
+/// sim::FaultyNetwork. The service-level contract is unchanged — both
+/// paths check the same unique-max-leader and Theorem 1 bound predicates
+/// against conserved pulse counters.
+enum class SoakBackend { sim, coro, socket };
 
 const char* to_string(SoakBackend backend);
 bool backend_from_string(const std::string& s, SoakBackend& out);
@@ -68,6 +70,7 @@ struct AttemptResult {
   bool unique_leader = false;  ///< exactly one Leader role
   bool leader_is_max = false;  ///< and it holds the max ID
   bool on_coro = false;        ///< ran on the coroutine executor
+  bool on_socket = false;      ///< ran on the real-socket backend
   /// Pulses attributed to the algorithm phase the sender was in
   /// (obs/phase.hpp); fabric pulses no node sent (injections/duplicates)
   /// land in the adversary bucket. On a clean attempt the array sums to
@@ -82,11 +85,12 @@ struct AttemptResult {
 /// Runs one attempt of `spec` to completion (or event-budget exhaustion).
 /// On the sim backend (and for any non-trivial fault plan) the attempt runs
 /// under a RandomScheduler seeded from the spec — a pure function of the
-/// spec. On the coro backend a clean attempt runs on the coroutine
-/// executor, where outcomes are schedule-independent (exact pulse count,
-/// unique leader) but wall-clock stalls are possible, so a watchdog timeout
-/// classifies as `stalled` WITHOUT the clean-attempt escalation: a loaded
-/// machine is not an algorithm bug, and the retry ladder absorbs it.
+/// spec. On the coro and socket backends a clean attempt runs on the
+/// coroutine executor / a real loopback TCP ring, where outcomes are
+/// schedule-independent (exact pulse count, unique leader) but wall-clock
+/// stalls are possible, so a watchdog timeout classifies as `stalled`
+/// WITHOUT the clean-attempt escalation: a loaded machine is not an
+/// algorithm bug, and the retry ladder absorbs it.
 /// Clean-attempt escalation (stalled → safety_violated) and the pulse-bound
 /// demotion described above are already applied to `outcome`.
 AttemptResult run_attempt(const RingSpec& spec,
@@ -104,6 +108,7 @@ struct ElectionReport {
   std::uint64_t faults_applied = 0;    ///< across all attempts
   std::uint64_t events_consumed = 0;   ///< deliveries across all attempts
   std::uint64_t coro_attempts = 0;     ///< attempts run on the coro backend
+  std::uint64_t socket_attempts = 0;   ///< attempts run on the socket backend
   /// Per-phase pulse attribution of the final attempt (same convention as
   /// AttemptResult::phase_pulses: sums to `pulses`).
   std::array<std::uint64_t, obs::kPhaseCount> phase_pulses{};

@@ -156,6 +156,31 @@ TEST(RunAttempt, CoroBackendMatchesSimOnCleanRings) {
   EXPECT_TRUE(a1.leader_is_max);
 }
 
+TEST(RunAttempt, SocketBackendMatchesSimOnCleanRings) {
+  // The same clean specs once more, now over real loopback TCP (src/net):
+  // identical classification and the identical exact pulse budgets, with
+  // the quiescence coordinator proving sent == consumed on the wire.
+  const auto alg2 = clean_spec(SoakAlg::alg2, {3, 7, 2, 5});
+  const svc::AttemptResult a2 =
+      svc::run_attempt(alg2, svc::SoakBackend::socket);
+  EXPECT_EQ(a2.outcome, sim::FaultOutcome::recovered_correct) << a2.diagnosis;
+  EXPECT_TRUE(a2.on_socket);
+  EXPECT_EQ(a2.pulses, 4u * (2u * 7u + 1u));
+  EXPECT_EQ(a2.report.deliveries, a2.pulses);  // wire conservation
+  EXPECT_TRUE(a2.unique_leader);
+  EXPECT_TRUE(a2.leader_is_max);
+
+  const auto alg1 = clean_spec(SoakAlg::alg1, {4, 9, 1});
+  const svc::AttemptResult a1 =
+      svc::run_attempt(alg1, svc::SoakBackend::socket);
+  EXPECT_EQ(a1.outcome, sim::FaultOutcome::recovered_correct) << a1.diagnosis;
+  EXPECT_TRUE(a1.on_socket);
+  EXPECT_EQ(a1.pulses, 3u * 9u);
+  EXPECT_EQ(a1.report.deliveries, a1.pulses);
+  EXPECT_TRUE(a1.unique_leader);
+  EXPECT_TRUE(a1.leader_is_max);
+}
+
 TEST(RunAttempt, CoroBackendLeavesFaultyAttemptsOnSim) {
   // Fault injection lives on the simulator: a non-trivial plan must run
   // there even when the policy selects the coro backend.
@@ -277,6 +302,27 @@ TEST(RunSoak, CoroBackendHoldsTheServiceGate) {
   EXPECT_LE(report.coro_attempts, report.attempts);
   const std::string json = report.to_json();
   EXPECT_NE(json.find("\"backend\":\"coro\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(RunSoak, SocketBackendHoldsTheServiceGate) {
+  // A bounded soak with clean attempts on real loopback TCP rings: same
+  // gate, and the tally must show the socket path actually ran.
+  svc::SoakOptions options;
+  options.duration_seconds = 0.0;
+  options.rings = 8;
+  options.shards = 2;
+  options.seed = 92;
+  options.min_elections = 16;
+  options.policy.backend = svc::SoakBackend::socket;
+  const svc::SoakReport report = svc::run_soak(options);
+
+  EXPECT_TRUE(report.ok()) << report.to_json();
+  EXPECT_EQ(report.backend, "socket");
+  EXPECT_GT(report.socket_attempts, 0u);
+  EXPECT_LE(report.socket_attempts, report.attempts);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"backend\":\"socket\""), std::string::npos);
   EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
 }
 

@@ -12,8 +12,10 @@
 //   --max-elections N   stop early after N finished (0 = duration-driven)
 //   --max-attempts N    supervisor attempt budget per election (default 4)
 //   --clean-after N     attempts >= N run fault-free (default 2)
-//   --backend B         substrate for clean attempts: sim | coro
-//                       (default sim; coro runs them on the coroutine
+//   --backend B         substrate for clean attempts: sim | coro | socket
+//                       (default sim; socket runs them as real loopback
+//                       TCP rings via src/net; coro runs them on the
+//                       coroutine
 //                       executor — faulty attempts always run on sim)
 //   --snapshot FILE     periodically rewrite FILE as a colex-trace-v1
 //                       metrics snapshot (view with `colex-inspect summary`)
@@ -48,7 +50,7 @@ int usage() {
                "             [--seed S] [--churn calm|steady|storm]\n"
                "             [--min-elections N] [--max-elections N]\n"
                "             [--max-attempts N] [--clean-after N]\n"
-               "             [--backend sim|coro]\n"
+               "             [--backend sim|coro|socket]\n"
                "             [--snapshot FILE] [--snapshot-every S]\n"
                "             [--serve PORT] [--json]\n";
   return 2;
@@ -83,7 +85,8 @@ void print_human(const svc::SoakReport& r) {
             << "  failures: " << r.safety_violated << " safety-violated, "
             << r.diverged << " diverged, " << r.stalled << " stalled\n"
             << "  attempts: " << r.attempts << " (" << r.coro_attempts
-            << " on coro, " << r.faults_applied << " faults applied)\n"
+            << " on coro, " << r.socket_attempts << " on socket, "
+            << r.faults_applied << " faults applied)\n"
             << "  throughput: " << r.elections_per_second << " elections/s\n"
             << "  latency ms: p50=" << r.latency_ms.p50
             << " p95=" << r.latency_ms.p95 << " p99=" << r.latency_ms.p99
