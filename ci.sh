@@ -55,10 +55,21 @@ run_lint() {
   echo "==> [lint] configure + build colex-lint"
   cmake -B build -S . -DCOLEX_WERROR=ON >/dev/null
   cmake --build build -j "$jobs" --target colex-lint
+  # Wall-clock guard: the interprocedural passes (symbol table, call graph,
+  # taint fixpoint) must stay cheap enough to gate every push. 60s is ~100x
+  # headroom today; tripping it means a fixpoint regressed, not a slow box.
+  local lint_t0 lint_t1
+  lint_t0="$(date +%s)"
   echo "==> [lint] tree scan: src tools bench"
-  ./build/tools/colex-lint src tools bench
+  ./build/tools/colex-lint --jobs "$jobs" src tools bench
   echo "==> [lint] rule self-test: tests/lint_fixtures"
   ./build/tools/colex-lint --self-test tests/lint_fixtures
+  lint_t1="$(date +%s)"
+  if [ "$((lint_t1 - lint_t0))" -gt 60 ]; then
+    echo "==> [lint] FAIL: scan + self-test took $((lint_t1 - lint_t0))s (budget 60s)"
+    exit 1
+  fi
+  echo "==> [lint] scan + self-test in $((lint_t1 - lint_t0))s (budget 60s)"
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "==> [lint] clang-tidy (via build/compile_commands.json)"
     find src -name '*.cpp' -print0 \

@@ -41,6 +41,8 @@ void Executor::wake_one_worker() {
   // under park_mutex_, so locking (even briefly) after the ready_count_
   // bump guarantees the parked worker either saw the bump pre-sleep or is
   // already waiting and receives this notify — never the gap between.
+  // colex-lint: allow(T002) empty critical section: the guard is the wake
+  // handshake itself and is never held across a park or any other wait
   { std::lock_guard<std::mutex> lock(park_mutex_); }
   park_cv_.notify_one();
 }

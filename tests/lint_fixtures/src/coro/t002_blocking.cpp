@@ -1,0 +1,39 @@
+// Fixture: T002 — blocking calls reachable from a coroutine body.
+//
+// The `src/coro/` subdirectory mirrors the rule's expansion scope: the
+// call-graph BFS only follows edges into functions defined under src/coro,
+// because that is where coroutine bodies actually execute. `t002_driver`
+// uses co_return, making it a root; the helpers it calls contain the
+// blocking sinks.
+#include <mutex>
+#include <thread>
+
+namespace fixture_t002 {
+
+std::mutex& t002_mu();
+std::thread& t002_thread();
+
+void t002_block_on_mutex() {
+  std::lock_guard<std::mutex> guard(t002_mu());  // colex-lint: expect(T002)
+}
+
+void t002_block_on_join() {
+  t002_thread().join();  // colex-lint: expect(T002)
+}
+
+void t002_brief_handshake() {
+  std::lock_guard<std::mutex> guard(t002_mu());  // colex-lint: allow(T002) expect-suppressed(T002) fixture: stands in for an empty-critical-section wake handshake
+}
+
+struct T002Task {
+  struct promise_type;
+};
+
+T002Task t002_driver() {
+  t002_block_on_mutex();
+  t002_block_on_join();
+  t002_brief_handshake();
+  co_return;
+}
+
+}  // namespace fixture_t002

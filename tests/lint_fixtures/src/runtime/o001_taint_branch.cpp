@@ -1,0 +1,35 @@
+// Fixture: O001 — payload content flowing into branch conditions.
+//
+// The `src/runtime/` subdirectory mirrors the path scoping of the O-rules
+// (content-oblivious runtime code; decode is sanctioned only in src/net and
+// src/obs). `peek_header` exercises the interprocedural half: it returns a
+// decoder result, so calls to it are themselves taint atoms.
+namespace fixture_o001 {
+
+void consume(int);
+
+int peek_header(const unsigned char* buf) {
+  return get_u32(buf, 0);
+}
+
+void direct_branch(const unsigned char* buf) {
+  const int tag = get_u32(buf, 4);
+  if (tag == 7) {  // colex-lint: expect(O001)
+    consume(tag);
+  }
+}
+
+void transitive_branch(const unsigned char* buf) {
+  if (peek_header(buf) != 0) {  // colex-lint: expect(O001)
+    consume(1);
+  }
+}
+
+void waived_branch(const unsigned char* buf) {
+  const int tag = get_u32(buf, 8);
+  if (tag < 0) {  // colex-lint: allow(O001) expect-suppressed(O001) fixture: stands in for a justified decode hop pending a port refactor
+    consume(tag);
+  }
+}
+
+}  // namespace fixture_o001

@@ -1,0 +1,35 @@
+// Fixture: O002 — payload content flowing into loop bounds.
+//
+// `frame_len` returns a tainted local, so the while-loop case checks the
+// local-variable fixpoint *and* the tainted-returning fixpoint at once.
+namespace fixture_o002 {
+
+void step();
+
+int frame_len(const unsigned char* buf) {
+  const int n = get_u32(buf, 0);
+  return n;
+}
+
+void loop_classic(const unsigned char* buf) {
+  const int n = get_u32(buf, 0);
+  for (int i = 0; i < n; ++i) {  // colex-lint: expect(O002)
+    step();
+  }
+}
+
+void loop_while(const unsigned char* buf) {
+  int left = frame_len(buf);
+  while (left > 0) {  // colex-lint: expect(O002)
+    --left;
+  }
+}
+
+void loop_waived(const unsigned char* buf) {
+  const int n = frame_len(buf);
+  for (int i = 0; i < n; ++i) {  // colex-lint: allow(O002) expect-suppressed(O002) fixture: stands in for a justified replay of a decoded length
+    step();
+  }
+}
+
+}  // namespace fixture_o002

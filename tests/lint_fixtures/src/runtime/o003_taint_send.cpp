@@ -1,0 +1,24 @@
+// Fixture: O003 — payload content flowing into send-family calls.
+//
+// What a node sends (and how many times) must depend on pulse counts only;
+// a content-derived send argument leaks payload into the fabric.
+namespace fixture_o003 {
+
+void send(int);
+void send_pulse(int);
+
+void send_count_tainted(const unsigned char* buf) {
+  const int votes = get_u32(buf, 0);
+  send(votes);  // colex-lint: expect(O003)
+}
+
+void send_inline_tainted(const unsigned char* buf) {
+  send_pulse(get_u32(buf, 4));  // colex-lint: expect(O003)
+}
+
+void send_waived(const unsigned char* buf) {
+  const int votes = get_u32(buf, 8);
+  send(votes);  // colex-lint: allow(O003) expect-suppressed(O003) fixture: stands in for a justified content-bearing reply in a decode shim
+}
+
+}  // namespace fixture_o003

@@ -1,0 +1,45 @@
+// Fixture: T001 — unpaired atomic memory orders on class members.
+//
+// Member names are fixture-unique because the rule aggregates uses by
+// member name across the whole scanned tree.
+#include <atomic>
+
+namespace fixture_t001 {
+
+// A release store nothing ever acquires: the publish ordering is dead.
+class LonelyPublisher {
+ public:
+  void publish(int v) {
+    staged_ = v;
+    t001_flag_a_.store(1, std::memory_order_release);  // colex-lint: expect(T001)
+  }
+  int peek() const { return t001_flag_a_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> t001_flag_a_{0};
+  int staged_ = 0;
+};
+
+// An acquire load nothing ever releases into: the acquire orders nothing.
+class LonelyConsumer {
+ public:
+  int consume() {
+    return t001_flag_b_.load(std::memory_order_acquire);  // colex-lint: expect(T001)
+  }
+  void poke() { t001_flag_b_.store(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> t001_flag_b_{0};
+};
+
+class WaivedPublisher {
+ public:
+  void mark() {
+    t001_flag_c_.store(1, std::memory_order_release);  // colex-lint: allow(T001) expect-suppressed(T001) fixture: stands in for a flag acquired by a separate binary the linter cannot see
+  }
+
+ private:
+  std::atomic<int> t001_flag_c_{0};
+};
+
+}  // namespace fixture_t001

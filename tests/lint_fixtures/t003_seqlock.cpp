@@ -1,0 +1,52 @@
+// Fixture: T003 — seqlock writer protocol shape.
+//
+// A class with an atomic member named *version* plus other atomic members
+// is a seqlock slot; every payload store must be bracketed by two version
+// stores (odd: write in progress, even: stable).
+#include <atomic>
+
+namespace fixture_t003 {
+
+// No version bracket at all: readers can observe the payload mid-write.
+class T003Unbracketed {
+ public:
+  void write(unsigned long v) {
+    t003_payload_a_.store(v);  // colex-lint: expect(T003)
+  }
+
+ private:
+  std::atomic<unsigned long> t003_version_a_{0};
+  std::atomic<unsigned long> t003_payload_a_{0};
+};
+
+// Both version stores present, but one payload store trails the closing
+// version store — readers validating version-before == version-after can
+// still see that field torn.
+class T003Trailing {
+ public:
+  void write(unsigned long v) {  // colex-lint: expect(T003)
+    const unsigned long s = t003_version_b_.load();
+    t003_version_b_.store(s + 1);
+    t003_word_b_.store(v);
+    t003_version_b_.store(s + 2);
+    t003_extra_b_.store(v);
+  }
+
+ private:
+  std::atomic<unsigned long> t003_version_b_{0};
+  std::atomic<unsigned long> t003_word_b_{0};
+  std::atomic<unsigned long> t003_extra_b_{0};
+};
+
+class T003Waived {
+ public:
+  void write(unsigned long v) {
+    t003_payload_c_.store(v);  // colex-lint: allow(T003) expect-suppressed(T003) fixture: single-word slot whose readers tolerate a torn read by design
+  }
+
+ private:
+  std::atomic<unsigned long> t003_version_c_{0};
+  std::atomic<unsigned long> t003_payload_c_{0};
+};
+
+}  // namespace fixture_t003

@@ -1,0 +1,34 @@
+// Fixture: T004 — rt::Transport / rt::PulsePort structural conformance.
+//
+// A class that implements most-but-not-all of a port surface only fails
+// when a template instantiates it — which for a stub backend may be never.
+// Parameter counts are matched, so unrelated two-argument recv() overloads
+// (e.g. the thread-ring substrate) do not anchor a surface.
+namespace fixture_t004 {
+
+void t004_sink(int);
+
+// Four of the five rt::Transport methods: shutdown() is missing.
+class T004DriftedTransport {  // colex-lint: expect(T004)
+ public:
+  bool recv(int port) { return port == 0; }
+  void send(int port) { t004_sink(port); }
+  int wait() { return 0; }
+  bool stopped() const { return false; }
+};
+
+// wait_any() without the rest of the rt::PulsePort surface.
+class T004HalfPort {  // colex-lint: expect(T004)
+ public:
+  bool recv(int port) { return port == 0; }
+  int wait_any() { return 0; }
+};
+
+class T004WaivedStub {  // colex-lint: allow(T004) expect-suppressed(T004) fixture: intentionally partial stub kept as a compile-failure negative
+ public:
+  bool recv(int port) { return port == 0; }
+  void send(int port) { t004_sink(port); }
+  int wait() { return 0; }
+};
+
+}  // namespace fixture_t004

@@ -57,9 +57,9 @@ TEST(LintSelfTest, EveryPlantedExpectationMatches) {
   }
   EXPECT_TRUE(result.ok);
   // One positive + one suppressed case per rule, plus the extra D001 and
-  // M003 positives.
-  EXPECT_EQ(result.expectations, 20u);
-  EXPECT_EQ(result.rules_exercised.size(), 9u);  // all rules in the catalog
+  // M003 positives and the second positive each O/T rule plants.
+  EXPECT_EQ(result.expectations, 41u);
+  EXPECT_EQ(result.rules_exercised.size(), 16u);  // all rules in the catalog
   std::set<std::string> ids;
   for (const lint::RuleInfo& rule : lint::rule_catalog()) ids.insert(rule.id);
   EXPECT_EQ(result.rules_exercised, ids);
@@ -86,8 +86,50 @@ TEST(LintFixtures, ReportedFindingsHaveExactRuleIdsAndLines) {
   EXPECT_TRUE(has_one(outcome.findings, "M003", "src/co/m003_payload.cpp", 4));
   EXPECT_TRUE(
       has_one(outcome.findings, "M003", "src/co/m003_payload.cpp", 15));
-  EXPECT_EQ(outcome.findings.size(), 11u);
+  // Taint pass (O-rules) fixtures under src/runtime/.
+  EXPECT_TRUE(has_one(outcome.findings, "O001",
+                      "src/runtime/o001_taint_branch.cpp", 17));
+  EXPECT_TRUE(has_one(outcome.findings, "O001",
+                      "src/runtime/o001_taint_branch.cpp", 23));
+  EXPECT_TRUE(has_one(outcome.findings, "O002",
+                      "src/runtime/o002_taint_loop.cpp", 16));
+  EXPECT_TRUE(has_one(outcome.findings, "O002",
+                      "src/runtime/o002_taint_loop.cpp", 23));
+  EXPECT_TRUE(has_one(outcome.findings, "O003",
+                      "src/runtime/o003_taint_send.cpp", 12));
+  EXPECT_TRUE(has_one(outcome.findings, "O003",
+                      "src/runtime/o003_taint_send.cpp", 16));
+  // Concurrency pass (T-rules) fixtures.
+  EXPECT_TRUE(
+      has_one(outcome.findings, "T001", "t001_memory_order.cpp", 14));
+  EXPECT_TRUE(
+      has_one(outcome.findings, "T001", "t001_memory_order.cpp", 27));
+  EXPECT_TRUE(
+      has_one(outcome.findings, "T002", "src/coro/t002_blocking.cpp", 17));
+  EXPECT_TRUE(
+      has_one(outcome.findings, "T002", "src/coro/t002_blocking.cpp", 21));
+  EXPECT_TRUE(has_one(outcome.findings, "T003", "t003_seqlock.cpp", 14));
+  EXPECT_TRUE(has_one(outcome.findings, "T003", "t003_seqlock.cpp", 27));
+  EXPECT_TRUE(
+      has_one(outcome.findings, "T004", "t004_transport_shape.cpp", 12));
+  EXPECT_TRUE(
+      has_one(outcome.findings, "T004", "t004_transport_shape.cpp", 21));
+  EXPECT_EQ(outcome.findings.size(), 25u);
   EXPECT_EQ(lint::exit_code(outcome), 1);
+}
+
+TEST(LintFixtures, FindingsCarryTheirProducingPass) {
+  const lint::ScanOutcome outcome = scan_fixtures();
+  for (const lint::Finding& f : outcome.findings) {
+    const char letter = f.rule[0];
+    if (letter == 'O') {
+      EXPECT_EQ(f.pass, "taint") << f.rule;
+    } else if (letter == 'T') {
+      EXPECT_EQ(f.pass, "concurrency") << f.rule;
+    } else {
+      EXPECT_EQ(f.pass, "lexical") << f.rule;
+    }
+  }
 }
 
 TEST(LintFixtures, SuppressedFindingsHaveExactRuleIdsAndLines) {
@@ -109,7 +151,39 @@ TEST(LintFixtures, SuppressedFindingsHaveExactRuleIdsAndLines) {
       has_one(outcome.suppressed, "M002", "src/co/m002_network_state.cpp", 19));
   EXPECT_TRUE(
       has_one(outcome.suppressed, "M003", "src/co/m003_payload.cpp", 16));
-  EXPECT_EQ(outcome.suppressed.size(), 9u);
+  EXPECT_TRUE(has_one(outcome.suppressed, "O001",
+                      "src/runtime/o001_taint_branch.cpp", 30));
+  EXPECT_TRUE(has_one(outcome.suppressed, "O002",
+                      "src/runtime/o002_taint_loop.cpp", 30));
+  EXPECT_TRUE(has_one(outcome.suppressed, "O003",
+                      "src/runtime/o003_taint_send.cpp", 21));
+  EXPECT_TRUE(
+      has_one(outcome.suppressed, "T001", "t001_memory_order.cpp", 38));
+  EXPECT_TRUE(
+      has_one(outcome.suppressed, "T002", "src/coro/t002_blocking.cpp", 25));
+  EXPECT_TRUE(has_one(outcome.suppressed, "T003", "t003_seqlock.cpp", 44));
+  EXPECT_TRUE(
+      has_one(outcome.suppressed, "T004", "t004_transport_shape.cpp", 27));
+  EXPECT_EQ(outcome.suppressed.size(), 16u);
+}
+
+// --- parallel scan determinism -------------------------------------------
+
+TEST(LintParallel, FindingOrderIsIdenticalForAnyWorkerCount) {
+  const lint::ScanOutcome one = lint::scan_paths({COLEX_LINT_FIXTURE_DIR}, 1);
+  for (const std::size_t workers : {2u, 4u, 7u}) {
+    const lint::ScanOutcome many =
+        lint::scan_paths({COLEX_LINT_FIXTURE_DIR}, workers);
+    ASSERT_EQ(many.findings.size(), one.findings.size()) << workers;
+    for (std::size_t i = 0; i < one.findings.size(); ++i) {
+      EXPECT_EQ(many.findings[i].rule, one.findings[i].rule);
+      EXPECT_EQ(many.findings[i].file, one.findings[i].file);
+      EXPECT_EQ(many.findings[i].line, one.findings[i].line);
+      EXPECT_EQ(many.findings[i].message, one.findings[i].message);
+      EXPECT_EQ(many.findings[i].pass, one.findings[i].pass);
+    }
+    EXPECT_EQ(many.suppressed.size(), one.suppressed.size());
+  }
 }
 
 // --- the real tree gates clean -------------------------------------------
@@ -125,11 +199,15 @@ TEST(LintTree, SrcToolsBenchScanClean) {
                   << f.message;
   }
   EXPECT_EQ(lint::exit_code(outcome), 0);
-  // The one justified suppression: Network::clone() deliberately does not
-  // copy send_observer_ (forks are exploration states, not traced runs).
-  ASSERT_EQ(outcome.suppressed.size(), 1u);
-  EXPECT_EQ(outcome.suppressed[0].rule, "C001");
-  EXPECT_TRUE(ends_with(outcome.suppressed[0].file, "src/sim/network.hpp"));
+  // The two justified suppressions: Network::clone() deliberately does not
+  // copy send_observer_ (forks are exploration states, not traced runs),
+  // and the executor's wake handshake locks park_mutex_ with an empty
+  // critical section (never held across a park).
+  ASSERT_EQ(outcome.suppressed.size(), 2u);  // sorted by (file, line, rule)
+  EXPECT_TRUE(
+      has_one(outcome.suppressed, "T002", "src/coro/executor.cpp", 46));
+  EXPECT_EQ(outcome.suppressed[1].rule, "C001");
+  EXPECT_TRUE(ends_with(outcome.suppressed[1].file, "src/sim/network.hpp"));
 }
 
 // --- lexer ---------------------------------------------------------------
@@ -152,6 +230,34 @@ TEST(LintLexer, CommentsAndStringsDoNotLeakTokens) {
   EXPECT_EQ(lexed.comments[0].line, 1);
   EXPECT_EQ(lexed.comments[1].line, 2);
   EXPECT_EQ(lexed.comments[1].end_line, 3);
+}
+
+TEST(LintLexer, LineCommentContinuesAcrossBackslashNewline) {
+  // A backslash at the end of a `//` line splices the next physical line
+  // into the comment (phase-2 line splicing), so `rand()` on the spliced
+  // line must not lex as code — and the comment's extent must cover both
+  // lines so a marker inside it anchors correctly.
+  const lint::LexResult lexed = lint::lex(
+      "// spliced comment \\\n"
+      "rand(); still the same comment\n"
+      "int live = 1;\n");
+  for (const lint::Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "rand");
+  }
+  ASSERT_EQ(lexed.comments.size(), 1u);
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  EXPECT_EQ(lexed.comments[0].end_line, 2);
+  EXPECT_NE(lexed.comments[0].text.find("still the same comment"),
+            std::string::npos);
+  // The code after the spliced comment still lexes, on the right line.
+  ASSERT_FALSE(lexed.tokens.empty());
+  EXPECT_EQ(lexed.tokens[0].text, "int");
+  EXPECT_EQ(lexed.tokens[0].line, 3);
+
+  // CRLF endings: the backslash still precedes the (logical) newline.
+  const lint::LexResult crlf = lint::lex("// one \\\r\ntwo\r\nint x;\r\n");
+  ASSERT_EQ(crlf.comments.size(), 1u);
+  EXPECT_EQ(crlf.comments[0].end_line, 2);
 }
 
 TEST(LintLexer, TokensCarryOneBasedLineNumbers) {
@@ -294,18 +400,42 @@ TEST(LintDriver, JsonOutputEscapesAndListsFindings) {
   EXPECT_NE(json.find("\"line\":7"), std::string::npos);
   EXPECT_NE(json.find("a\\\"b.cpp"), std::string::npos);
   EXPECT_NE(json.find("line one\\nline two"), std::string::npos);
+  // v2 additions are additive: schema marker plus a per-finding pass field,
+  // with the v1 "tool"/"version" keys untouched.
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"colex-lint-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"pass\":\"lexical\""), std::string::npos);
+}
+
+TEST(LintDriver, JsonTagsFindingsWithTheirPass) {
+  lint::ScanOutcome outcome;
+  outcome.files_scanned = 1;
+  outcome.findings.push_back(
+      lint::Finding{"O001", "x.cpp", 3, "m", "taint"});
+  outcome.findings.push_back(
+      lint::Finding{"T002", "y.cpp", 9, "m", "concurrency"});
+  std::ostringstream os;
+  lint::print_json(os, outcome);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"rule\":\"O001\",\"pass\":\"taint\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"T002\",\"pass\":\"concurrency\""),
+            std::string::npos);
 }
 
 TEST(LintDriver, RuleCatalogIsStableAndComplete) {
   const std::vector<lint::RuleInfo> catalog = lint::rule_catalog();
-  ASSERT_EQ(catalog.size(), 9u);
+  ASSERT_EQ(catalog.size(), 16u);
   std::set<std::string> ids;
   for (const lint::RuleInfo& rule : catalog) {
     ASSERT_FALSE(rule.id.empty());
     EXPECT_TRUE(rule.id[0] == 'D' || rule.id[0] == 'M' || rule.id[0] == 'C' ||
-                rule.id[0] == 'H')
+                rule.id[0] == 'H' || rule.id[0] == 'O' || rule.id[0] == 'T')
         << rule.id;
     EXPECT_FALSE(rule.summary.empty());
+    EXPECT_TRUE(rule.pass == "lexical" || rule.pass == "taint" ||
+                rule.pass == "concurrency")
+        << rule.id << " pass=" << rule.pass;
     ids.insert(rule.id);
   }
   EXPECT_EQ(ids.size(), catalog.size()) << "duplicate rule ids";

@@ -1,10 +1,11 @@
-// colex-lint: model-conformance and determinism static analysis for the
-// colex tree (DESIGN.md §8).
+// colex-lint: model-conformance, obliviousness-taint and concurrency
+// static analysis for the colex tree (DESIGN.md §8).
 //
-//   colex-lint [--json] <path>...        scan files/directories
-//   colex-lint --self-test <path>...     verify rules against planted
-//                                        fixtures (tests/lint_fixtures)
-//   colex-lint --list-rules              print the rule catalog
+//   colex-lint [--json] [--jobs N] <path>...   scan files/directories
+//   colex-lint --self-test <path>...           verify rules against planted
+//                                              fixtures (tests/lint_fixtures)
+//   colex-lint --list-rules                    print the rule catalog
+//                                              (id, pass, summary)
 //
 // Suppressions (justify them — reviewers read these):
 //   // colex-lint: allow(C001) <why this is a false positive>
@@ -12,6 +13,7 @@
 //
 // Exit status mirrors colex-fuzz: 0 clean, 1 findings (or self-test
 // mismatch), 2 usage / I-O error.
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,7 +24,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage:\n"
-               "  colex-lint [--json] <path>...\n"
+               "  colex-lint [--json] [--jobs N] <path>...\n"
                "  colex-lint --self-test <path>...\n"
                "  colex-lint --list-rules\n";
   return 2;
@@ -33,6 +35,7 @@ int usage() {
 int main(int argc, char** argv) {
   bool json = false;
   bool self_test = false;
+  std::size_t jobs = 4;  // findings are identical for any worker count
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -40,9 +43,26 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--self-test") {
       self_test = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::cerr << "colex-lint: --jobs needs a worker count\n";
+        return usage();
+      }
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 1 || n > 256) {
+        std::cerr << "colex-lint: --jobs wants 1..256, got '" << argv[i]
+                  << "'\n";
+        return usage();
+      }
+      jobs = static_cast<std::size_t>(n);
     } else if (arg == "--list-rules") {
       for (const auto& rule : colex::lint::rule_catalog()) {
-        std::cout << rule.id << "  " << rule.summary << "\n";
+        std::cout << rule.id << "  " << rule.pass
+                  << std::string(rule.pass.size() < 12
+                                     ? 12 - rule.pass.size()
+                                     : 1,
+                                 ' ')
+                  << rule.summary << "\n";
       }
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -66,7 +86,7 @@ int main(int argc, char** argv) {
     return result.ok ? 0 : 1;
   }
 
-  const auto outcome = colex::lint::scan_paths(paths);
+  const auto outcome = colex::lint::scan_paths(paths, jobs);
   if (json) {
     colex::lint::print_json(std::cout, outcome);
   } else {

@@ -1,0 +1,83 @@
+#include "lint/callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace colex::lint {
+
+namespace {
+
+/// Identifiers that look like `name(` but are never project calls.
+bool is_call_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",        "for",      "while",    "switch",      "catch",
+      "return",    "sizeof",   "alignof",  "alignas",     "decltype",
+      "noexcept",  "requires", "throw",    "new",         "delete",
+      "co_await",  "co_yield", "co_return", "static_assert",
+      "defined",   "assert",   "operator", "typeid",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+}  // namespace
+
+CallGraph build_call_graph(const std::vector<SourceFile>& files,
+                           const ProjectIndex& project,
+                           const SymbolTable& symbols) {
+  CallGraph graph;
+  graph.calls.resize(symbols.symbols.size());
+  graph.edges.resize(symbols.symbols.size());
+  for (std::size_t s = 0; s < symbols.symbols.size(); ++s) {
+    const FunctionSymbol& sym = symbols.symbols[s];
+    const FunctionDef& fn = project.files[sym.file].functions[sym.fn];
+    const auto& toks = files[sym.file].tokens;
+    if (fn.body_end <= fn.body_begin) continue;
+    std::set<std::size_t> targets;
+    for (std::size_t i = fn.body_begin;
+         i + 1 < fn.body_end && i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Tok::identifier) continue;
+      if (toks[i + 1].kind != Tok::punct || toks[i + 1].text != "(") continue;
+      if (is_call_keyword(toks[i].text)) continue;
+      // `if constexpr (...)` puts an identifier before the paren too.
+      if (toks[i].text == "constexpr") continue;
+      graph.calls[s].push_back(CallSite{toks[i].text, i, toks[i].line});
+      const auto it = symbols.by_name.find(toks[i].text);
+      if (it == symbols.by_name.end()) continue;
+      for (const std::size_t t : it->second) {
+        if (t != s) targets.insert(t);
+      }
+    }
+    graph.edges[s].assign(targets.begin(), targets.end());
+  }
+  return graph;
+}
+
+std::vector<bool> reachable_from(
+    const CallGraph& graph, const SymbolTable& symbols,
+    const std::vector<std::size_t>& roots,
+    const std::function<bool(const FunctionSymbol&)>& expand,
+    std::vector<std::size_t>* origin) {
+  std::vector<bool> reached(symbols.symbols.size(), false);
+  if (origin) origin->assign(symbols.symbols.size(), 0);
+  std::deque<std::size_t> queue;
+  for (const std::size_t r : roots) {
+    if (r >= reached.size() || reached[r]) continue;
+    reached[r] = true;
+    if (origin) (*origin)[r] = r;
+    queue.push_back(r);
+  }
+  while (!queue.empty()) {
+    const std::size_t s = queue.front();
+    queue.pop_front();
+    for (const std::size_t t : graph.edges[s]) {
+      if (reached[t] || !expand(symbols.symbols[t])) continue;
+      reached[t] = true;
+      if (origin) (*origin)[t] = (*origin)[s];
+      queue.push_back(t);
+    }
+  }
+  return reached;
+}
+
+}  // namespace colex::lint

@@ -1,0 +1,49 @@
+// Name-resolved call graph over the symbol table (symbols.hpp).
+//
+// Call sites are `identifier(` token pairs inside a function's body extent,
+// minus keywords; each resolves to *every* project function definition with
+// that unqualified name. Nested lambda bodies overlap their enclosing
+// function's extent, so their call sites are attributed to both symbols —
+// again the conservative direction (a blocking call inside a lambda created
+// by a coroutine is reachable from the coroutine).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lint/symbols.hpp"
+
+namespace colex::lint {
+
+struct CallSite {
+  std::string callee;  // unqualified name at the call site
+  std::size_t token = 0;
+  int line = 0;
+};
+
+struct CallGraph {
+  /// calls[s] — raw call sites in symbol s's body, resolved or not.
+  std::vector<std::vector<CallSite>> calls;
+  /// edges[s] — symbol indices every call site of s may land on
+  /// (deduplicated, sorted).
+  std::vector<std::vector<std::size_t>> edges;
+};
+
+CallGraph build_call_graph(const std::vector<SourceFile>& files,
+                           const ProjectIndex& project,
+                           const SymbolTable& symbols);
+
+/// BFS over `edges` from `roots`. Roots are always marked reached; an edge
+/// is followed only when `expand(callee)` holds, which is how the T002 pass
+/// confines traversal to functions defined under src/coro. `origin[s]` (same
+/// size as the symbol list) receives the root symbol each reached function
+/// was first discovered from.
+std::vector<bool> reachable_from(
+    const CallGraph& graph, const SymbolTable& symbols,
+    const std::vector<std::size_t>& roots,
+    const std::function<bool(const FunctionSymbol&)>& expand,
+    std::vector<std::size_t>* origin = nullptr);
+
+}  // namespace colex::lint

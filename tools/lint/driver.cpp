@@ -124,25 +124,32 @@ void json_findings(std::ostream& os, const std::vector<Finding>& findings) {
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     os << (i == 0 ? "" : ",") << "\n    {\"rule\":\"" << f.rule
-       << "\",\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
-       << ",\"message\":\"" << json_escape(f.message) << "\"}";
+       << "\",\"pass\":\"" << f.pass << "\",\"file\":\"" << json_escape(f.file)
+       << "\",\"line\":" << f.line << ",\"message\":\""
+       << json_escape(f.message) << "\"}";
   }
   os << (findings.empty() ? "]" : "\n  ]");
 }
 
 }  // namespace
 
-ScanOutcome scan_paths(const std::vector<std::string>& paths) {
+ScanOutcome scan_paths(const std::vector<std::string>& paths,
+                       std::size_t workers) {
   ScanOutcome outcome;
   std::vector<SourceFile> files;
   load_sources(paths, files, outcome.errors);
   outcome.files_scanned = files.size();
   if (files.empty()) return outcome;
   const ProjectIndex project = build_project_index(files);
-  SplitFindings split = apply_suppressions(files, run_rules(files, project));
+  SplitFindings split =
+      apply_suppressions(files, run_rules(files, project, workers));
   outcome.findings = std::move(split.reported);
   outcome.suppressed = std::move(split.suppressed);
   return outcome;
+}
+
+ScanOutcome scan_paths(const std::vector<std::string>& paths) {
+  return scan_paths(paths, 1);
 }
 
 SelfTestOutcome run_self_test(const std::vector<std::string>& paths) {
@@ -230,7 +237,10 @@ void print_human(std::ostream& os, const ScanOutcome& outcome) {
 }
 
 void print_json(std::ostream& os, const ScanOutcome& outcome) {
+  // "tool"/"version" are kept for v1 consumers; "schema" names the v2
+  // shape (per-finding "pass" field).
   os << "{\n  \"tool\": \"colex-lint\",\n  \"version\": 1,\n"
+     << "  \"schema\": \"colex-lint-v2\",\n"
      << "  \"files_scanned\": " << outcome.files_scanned << ",\n"
      << "  \"findings\": ";
   json_findings(os, outcome.findings);

@@ -1,6 +1,7 @@
 // colex-lint driver: file collection, suppression, reporting, self-test.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <set>
 #include <string>
@@ -18,7 +19,11 @@ struct ScanOutcome {
 };
 
 /// Scans files and directories (recursively; .cpp/.cc/.cxx/.hpp/.h/.hh/.hxx),
-/// in sorted path order so output is deterministic.
+/// in sorted path order so output is deterministic. `workers` fans the
+/// per-file rule passes out (see run_rules); the outcome is identical for
+/// any worker count.
+ScanOutcome scan_paths(const std::vector<std::string>& paths,
+                       std::size_t workers);
 ScanOutcome scan_paths(const std::vector<std::string>& paths);
 
 /// Fixture self-test: every `expect(R)` marker must produce exactly one

@@ -33,13 +33,23 @@ LexResult lex(const std::string& src) {
       advance(1);
       continue;
     }
-    // Line comment.
+    // Line comment. Phase-2 line splicing happens before comments are
+    // recognized, so a backslash immediately before the newline (optionally
+    // with a '\r' in between) continues the comment onto the next physical
+    // line — the comment ends only at the first un-spliced newline.
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
       const int start = line;
       std::size_t j = i + 2;
-      while (j < n && src[j] != '\n') ++j;
-      out.comments.push_back(Comment{start, start, src.substr(i + 2, j - i - 2)});
-      advance(j - i);
+      for (;;) {
+        while (j < n && src[j] != '\n') ++j;
+        std::size_t k = j;
+        if (k > i + 2 && src[k - 1] == '\r') --k;  // tolerate CRLF
+        if (j >= n || k == i + 2 || src[k - 1] != '\\') break;
+        ++j;  // consume the spliced newline and keep scanning
+      }
+      std::string text = src.substr(i + 2, j - i - 2);
+      advance(j - i);  // leaves `line` on the comment's last physical line
+      out.comments.push_back(Comment{start, line, std::move(text)});
       continue;
     }
     // Block comment.

@@ -33,7 +33,8 @@ struct Token {
 /// suppression/expectation markers (// colex-lint: ...).
 struct Comment {
   int line;      // line the comment starts on
-  int end_line;  // last line (== line for // comments)
+  int end_line;  // last line (> line for block comments and for // comments
+                 // continued across a backslash line splice)
   std::string text;
 };
 

@@ -1,8 +1,15 @@
 #include "lint/rules.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <set>
+
+#include "lint/callgraph.hpp"
+#include "lint/concurrency.hpp"
+#include "lint/symbols.hpp"
+#include "lint/taint.hpp"
+#include "sim/parallel.hpp"
 
 namespace colex::lint {
 
@@ -459,41 +466,91 @@ void rule_h002(const SourceFile& f, std::vector<Finding>& out) {
 
 std::vector<RuleInfo> rule_catalog() {
   return {
-      {"D001", "banned nondeterminism source (std::rand, random_device, "
-               "mt19937, wall-clock seeding) outside util/rng.hpp"},
-      {"D002", "iteration over an unordered container (order can leak into "
-               "trace/metrics/repro output)"},
-      {"D003", "mutable function-local static (hidden cross-run, "
-               "cross-clone state)"},
-      {"M001", "automaton reads pulse content from recv() (model allows "
-               "only presence + port)"},
-      {"M002", "automaton touches global network state (neighbor state, "
-               "channel contents, totals)"},
-      {"M003", "non-empty Pulse payload, or content-carrying "
-               "Network/Context/Automaton instantiation in src/co|src/colib"},
-      {"C001", "Automaton clone()/copy path never mentions a declared data "
-               "member"},
-      {"H001", "header without include guard / #pragma once"},
-      {"H002", "'using namespace' in a header"},
+      {"D001", "lexical",
+       "banned nondeterminism source (std::rand, random_device, "
+       "mt19937, wall-clock seeding) outside util/rng.hpp"},
+      {"D002", "lexical",
+       "iteration over an unordered container (order can leak into "
+       "trace/metrics/repro output)"},
+      {"D003", "lexical",
+       "mutable function-local static (hidden cross-run, "
+       "cross-clone state)"},
+      {"M001", "lexical",
+       "automaton reads pulse content from recv() (model allows "
+       "only presence + port)"},
+      {"M002", "lexical",
+       "automaton touches global network state (neighbor state, "
+       "channel contents, totals)"},
+      {"M003", "lexical",
+       "non-empty Pulse payload, or content-carrying "
+       "Network/Context/Automaton instantiation in src/co|src/colib"},
+      {"C001", "lexical",
+       "Automaton clone()/copy path never mentions a declared data "
+       "member"},
+      {"H001", "lexical", "header without include guard / #pragma once"},
+      {"H002", "lexical", "'using namespace' in a header"},
+      {"O001", "taint",
+       "payload-derived value (recv content, wire decoder, tainted-returning "
+       "call) flows into an if/switch condition outside src/net|src/obs"},
+      {"O002", "taint",
+       "payload-derived value flows into a for/while loop bound outside "
+       "src/net|src/obs"},
+      {"O003", "taint",
+       "payload-derived value flows into a send-family call (content-"
+       "dependent send count) outside src/net|src/obs"},
+      {"T001", "concurrency",
+       "unpaired atomic memory order on a class member: release store with "
+       "no acquire/seq_cst load anywhere, or acquire load with no "
+       "release/seq_cst store"},
+      {"T002", "concurrency",
+       "blocking call (mutex lock, condvar wait, sleep, join, socket "
+       "send_all/recv_byte) reachable on the call graph from a coroutine "
+       "body through src/coro"},
+      {"T003", "concurrency",
+       "seqlock writer stores payload atomics without the odd/even version "
+       "bracket (obs/flight protocol shape)"},
+      {"T004", "concurrency",
+       "partial rt::Transport / rt::PulsePort surface (method name + arity "
+       "match): signature drift a never-instantiated template won't catch"},
   };
 }
 
 std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
-                               const ProjectIndex& project) {
-  std::vector<Finding> out;
-  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+                               const ProjectIndex& project,
+                               std::size_t workers) {
+  // Single-threaded prologue: the cross-file joins every interprocedural
+  // rule reads from.
+  const SymbolTable symbols = build_symbol_table(files, project);
+  const CallGraph graph = build_call_graph(files, project, symbols);
+  const TaintContext taint = build_taint_context(files, project, symbols);
+
+  // Per-file fan-out over the sim/parallel.hpp pool: each task writes only
+  // its own file's slot, so the merged result is worker-count oblivious.
+  std::vector<std::vector<Finding>> slots(files.size());
+  sim::parallel_for(files.size(), workers, [&](std::size_t fi) {
     const SourceFile& f = files[fi];
     const FileIndex& index = project.files[fi];
-    rule_d001(f, out);
-    rule_d002(f, out);
-    rule_d003(f, index, out);
-    rule_m001(f, index, project, out);
-    rule_m002(f, index, project, out);
-    rule_m003(f, index, out);
-    rule_h001(f, out);
-    rule_h002(f, out);
+    std::vector<Finding>& slot = slots[fi];
+    rule_d001(f, slot);
+    rule_d002(f, slot);
+    rule_d003(f, index, slot);
+    rule_m001(f, index, project, slot);
+    rule_m002(f, index, project, slot);
+    rule_m003(f, index, slot);
+    rule_h001(f, slot);
+    rule_h002(f, slot);
+    run_taint_rules_on_file(f, index, taint, slot);
+  });
+  std::vector<Finding> out;
+  for (std::vector<Finding>& slot : slots) {
+    out.insert(out.end(), std::make_move_iterator(slot.begin()),
+               std::make_move_iterator(slot.end()));
   }
+
+  // Sequential epilogue: rules that aggregate across the whole project.
   rule_c001(files, project, out);
+  run_concurrency_rules(files, project, symbols, graph, out);
+
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
@@ -501,6 +558,11 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
     return a.message < b.message;
   });
   return out;
+}
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const ProjectIndex& project) {
+  return run_rules(files, project, 1);
 }
 
 }  // namespace colex::lint

@@ -1,5 +1,11 @@
 // The colex-lint rule catalog (see DESIGN.md §8 for the rationale).
 //
+// Three passes feed the catalog:
+//   lexical      — per-file token scans over the scope walker's index
+//   taint        — interprocedural obliviousness taint (taint.hpp)
+//   concurrency  — concurrency discipline over the symbol table + call
+//                  graph (concurrency.hpp)
+//
 // Families:
 //   D (determinism)       — D001 banned nondeterminism sources,
 //                           D002 unordered-container iteration,
@@ -11,8 +17,16 @@
 //   C (clone completeness)— C001 clone()/copy path missing a data member
 //   H (hygiene)           — H001 header without include guard,
 //                           H002 `using namespace` in a header
+//   O (obliviousness)     — O001 taint into a branch condition,
+//                           O002 taint into a loop bound,
+//                           O003 taint into a send-family call
+//   T (concurrency)       — T001 unpaired atomic memory orders,
+//                           T002 blocking call reachable from a coroutine,
+//                           T003 seqlock writer protocol shape,
+//                           T004 Transport/PulsePort conformance drift
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -26,10 +40,12 @@ struct Finding {
   std::string file;
   int line = 0;
   std::string message;
+  std::string pass = "lexical";  // lexical | taint | concurrency
 };
 
 struct RuleInfo {
   std::string id;
+  std::string pass;  // which analyzer pass produces it
   std::string summary;
 };
 
@@ -38,6 +54,14 @@ std::vector<RuleInfo> rule_catalog();
 
 /// Runs every rule over the project. Returned findings are pre-suppression
 /// (the driver applies allow markers) and sorted by (file, line, rule).
+/// `workers` fans the per-file scans (lexical + taint sinks) out over the
+/// sim/parallel.hpp pool; the symbol/call-graph build and the global rules
+/// (C001, T001–T004) stay single-threaded. The result is identical for any
+/// worker count (per-file slots, sequential aggregation).
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const ProjectIndex& project,
+                               std::size_t workers);
+
 std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
                                const ProjectIndex& project);
 

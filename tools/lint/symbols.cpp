@@ -1,0 +1,100 @@
+#include "lint/symbols.hpp"
+
+namespace colex::lint {
+
+int count_params(const std::vector<Token>& toks, const FunctionDef& fn) {
+  // The parameter list is the first paren group between the signature start
+  // and the body (a constructor's member-init parens come after it).
+  std::size_t open = fn.body_begin;
+  for (std::size_t j = fn.sig_begin; j < fn.body_begin && j < toks.size();
+       ++j) {
+    if (toks[j].kind == Tok::punct && toks[j].text == "(") {
+      open = j;
+      break;
+    }
+  }
+  if (open >= fn.body_begin || open >= toks.size()) return -1;
+  int parens = 0, brackets = 0, braces = 0, angles = 0;
+  int commas = 0;
+  bool any_tokens = false;
+  bool only_void = true;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind == Tok::punct) {
+      const char p = t.text[0];
+      if (p == '(') ++parens;
+      else if (p == ')') {
+        --parens;
+        if (parens == 0) break;
+      } else if (p == '[') ++brackets;
+      else if (p == ']') --brackets;
+      else if (p == '{') ++braces;
+      else if (p == '}') --braces;
+      else if (p == '<') {
+        // Template-argument heuristic: '<' after an identifier opens an
+        // angle group; a bare '<' (comparison in a default argument) does
+        // not. Good enough for declared interfaces.
+        if (j > open && toks[j - 1].kind == Tok::identifier) ++angles;
+      } else if (p == '>') {
+        if (angles > 0) --angles;
+      } else if (p == ',' && parens == 1 && brackets == 0 && braces == 0 &&
+                 angles == 0) {
+        ++commas;
+      }
+      if (parens >= 1 && !(parens == 1 && (p == '(' || p == ')'))) {
+        any_tokens = true;
+        only_void = false;
+      }
+    } else if (parens >= 1) {
+      any_tokens = true;
+      if (!(t.kind == Tok::identifier && t.text == "void" && commas == 0)) {
+        only_void = false;
+      }
+    }
+  }
+  if (!any_tokens || only_void) return 0;
+  return commas + 1;
+}
+
+std::size_t match_forward_tok(const std::vector<Token>& toks,
+                              std::size_t open, char open_ch, char close_ch) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].kind != Tok::punct) continue;
+    if (toks[j].text[0] == open_ch) {
+      ++depth;
+    } else if (toks[j].text[0] == close_ch) {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+SymbolTable build_symbol_table(const std::vector<SourceFile>& files,
+                               const ProjectIndex& project) {
+  SymbolTable table;
+  table.by_file_fn.resize(files.size());
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const FileIndex& index = project.files[fi];
+    table.by_file_fn[fi].reserve(index.functions.size());
+    for (std::size_t k = 0; k < index.functions.size(); ++k) {
+      const FunctionDef& fn = index.functions[k];
+      FunctionSymbol sym;
+      sym.file = fi;
+      sym.fn = k;
+      sym.name = fn.name;
+      sym.owner = fn.owner;
+      sym.line = fn.line;
+      sym.param_count = count_params(files[fi].tokens, fn);
+      table.by_file_fn[fi].push_back(table.symbols.size());
+      if (!sym.name.empty()) {
+        table.by_name[sym.name].push_back(table.symbols.size());
+      }
+      table.symbols.push_back(std::move(sym));
+    }
+  }
+  return table;
+}
+
+}  // namespace colex::lint

@@ -1,0 +1,55 @@
+// Project-wide function symbol table for colex-lint.
+//
+// The scope walker (classes.cpp) already finds every function *definition*
+// per file; this layer joins them across the tree into a flat symbol list
+// with a by-name index, so the interprocedural passes (taint.cpp,
+// concurrency.cpp) can resolve `name(` call sites to candidate definitions.
+// Resolution is by unqualified name — deliberately an over-approximation
+// (every definition sharing the name is a candidate), which is the safe
+// direction for both passes: taint may only spread wider, reachability may
+// only grow.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/classes.hpp"
+#include "lint/source.hpp"
+
+namespace colex::lint {
+
+struct FunctionSymbol {
+  std::size_t file = 0;  // index into the scanned file list
+  std::size_t fn = 0;    // index into FileIndex::functions of that file
+  std::string name;      // unqualified; "" for lambdas
+  std::string owner;     // enclosing class or `X` of an out-of-line `X::f`
+  int line = 0;
+  int param_count = 0;  // -1 when the parameter list could not be parsed
+};
+
+struct SymbolTable {
+  std::vector<FunctionSymbol> symbols;
+  /// name -> indices into `symbols` (empty names are not indexed).
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  /// by_file_fn[file][fn] -> index into `symbols`, mirroring
+  /// ProjectIndex::files[file].functions[fn].
+  std::vector<std::vector<std::size_t>> by_file_fn;
+};
+
+/// Counts the parameters of `fn`'s declared parameter list: top-level commas
+/// plus one, with `()` and `(void)` both 0. Template-argument commas are
+/// skipped via a light angle-bracket heuristic. Returns -1 when no parameter
+/// list is found (unnamed bodies).
+int count_params(const std::vector<Token>& toks, const FunctionDef& fn);
+
+/// Index of the token matching the opener at `open` ('(' -> ')'), or
+/// (size_t)-1 when unbalanced. Shared by the token-level passes.
+std::size_t match_forward_tok(const std::vector<Token>& toks,
+                              std::size_t open, char open_ch, char close_ch);
+
+SymbolTable build_symbol_table(const std::vector<SourceFile>& files,
+                               const ProjectIndex& project);
+
+}  // namespace colex::lint

@@ -1,0 +1,276 @@
+#include "lint/taint.hpp"
+
+#include <utility>
+
+namespace colex::lint {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+/// The content-oblivious runtime dirs the O-rules police. src/net and
+/// src/obs are the sanctioned decode modules (fabric framing / telemetry):
+/// their whole purpose is turning wire bytes into fabric control decisions.
+bool in_checked_dirs(const std::string& path) {
+  return path_contains(path, "src/co/") || path_contains(path, "src/colib/") ||
+         path_contains(path, "src/runtime/") ||
+         path_contains(path, "src/coro/");
+}
+
+/// Wire decoders whose return value IS payload content by definition.
+const std::set<std::string>& decoder_names() {
+  static const std::set<std::string> kDecoders = {
+      "get_u32",     "get_u64",       "recv_byte",  "decode_result",
+      "read_payload", "frame_payload", "payload_of",
+  };
+  return kDecoders;
+}
+
+/// PulsePort-surface functions whose return value is *presence*, which the
+/// model sanctions (blocking on / branching on pulse arrival is the whole
+/// algorithm). Content reads on these are M001's job, and the recv-content
+/// atom below catches them as taint sources too.
+bool presence_semantics_name(const std::string& name) {
+  return name == "recv" || name == "recv_pulse" || name == "wait_any";
+}
+
+/// M001-shaped content read anchored at token `i` (`recv`): recv(...)
+/// followed by `.member` (not has_value), `->`, or dereferenced as
+/// `*x.recv(...)`.
+bool recv_content_read_at(const std::vector<Token>& toks, std::size_t i) {
+  if (toks[i].kind != Tok::identifier || toks[i].text != "recv") return false;
+  if (i + 1 >= toks.size() || toks[i + 1].text != "(") return false;
+  const std::size_t close = match_forward_tok(toks, i + 1, '(', ')');
+  if (close == kNone) return false;
+  if (close + 1 < toks.size()) {
+    const Token& after = toks[close + 1];
+    if (after.kind == Tok::punct && after.text == "." &&
+        close + 2 < toks.size() && toks[close + 2].text != "has_value") {
+      return true;
+    }
+    if (after.kind == Tok::punct && after.text == "-" &&
+        close + 2 < toks.size() && toks[close + 2].text == ">") {
+      return true;
+    }
+  }
+  if (i >= 3 && toks[i - 1].text == "." &&
+      toks[i - 2].kind == Tok::identifier && toks[i - 3].text == "*") {
+    return true;
+  }
+  return false;
+}
+
+struct Atom {
+  bool found = false;
+  std::string what;
+};
+
+/// First taint atom in [begin, end): a tainted local, a decoder call, a
+/// call to a tainted-returning function, or a direct recv() content read.
+Atom find_atom(const std::vector<Token>& toks, std::size_t begin,
+               std::size_t end, const std::set<std::string>& tainted_vars,
+               const TaintContext& ctx) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::identifier) continue;
+    const std::string& id = toks[i].text;
+    if (tainted_vars.count(id) != 0) {
+      return {true, "tainted value '" + id + "'"};
+    }
+    if (i + 1 < toks.size() && toks[i + 1].text == "(") {
+      if (decoder_names().count(id) != 0) {
+        return {true, "payload decoder '" + id + "()'"};
+      }
+      if (ctx.tainted_returning.count(id) != 0 &&
+          !presence_semantics_name(id)) {
+        return {true, "content-derived call '" + id + "()'"};
+      }
+    }
+    if (recv_content_read_at(toks, i)) {
+      return {true, "recv() content read"};
+    }
+  }
+  return {};
+}
+
+/// End of the statement starting at `begin`: the first ';' at the entry
+/// nesting depth, capped at `end`.
+std::size_t statement_end(const std::vector<Token>& toks, std::size_t begin,
+                          std::size_t end) {
+  int depth = 0;
+  for (std::size_t j = begin; j < end && j < toks.size(); ++j) {
+    if (toks[j].kind != Tok::punct) continue;
+    const char p = toks[j].text[0];
+    if (p == '(' || p == '[' || p == '{') ++depth;
+    else if (p == ')' || p == ']' || p == '}') --depth;
+    else if (p == ';' && depth <= 0) return j;
+  }
+  return end;
+}
+
+/// Is toks[i] the left-hand side of a plain assignment `x = expr`? Excludes
+/// `==` (and, via the identifier-then-'=' shape, all compound and relational
+/// operators, which lex as their own first character).
+bool is_assignment_lhs(const std::vector<Token>& toks, std::size_t i,
+                       std::size_t end) {
+  if (toks[i].kind != Tok::identifier) return false;
+  if (i + 1 >= end || toks[i + 1].text != "=") return false;
+  if (i + 2 < end && toks[i + 2].text == "=") return false;  // ==
+  if (i > 0 && toks[i - 1].kind == Tok::punct) {
+    const char p = toks[i - 1].text[0];
+    if (p == '=' || p == '!' || p == '<' || p == '>') return false;
+  }
+  return true;
+}
+
+/// Locals of `fn` that hold payload-derived values, to a fixpoint: `x =
+/// expr` (including declarations with `=` initializers) taints x when expr
+/// contains an atom.
+std::set<std::string> function_tainted_vars(const std::vector<Token>& toks,
+                                            const FunctionDef& fn,
+                                            const TaintContext& ctx) {
+  std::set<std::string> tainted;
+  for (int pass = 0; pass < 8; ++pass) {
+    bool changed = false;
+    for (std::size_t i = fn.body_begin;
+         i < fn.body_end && i < toks.size(); ++i) {
+      if (!is_assignment_lhs(toks, i, fn.body_end)) continue;
+      if (tainted.count(toks[i].text) != 0) continue;
+      const std::size_t stop = statement_end(toks, i + 2, fn.body_end);
+      if (find_atom(toks, i + 2, stop, tainted, ctx).found) {
+        tainted.insert(toks[i].text);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return tainted;
+}
+
+bool returns_taint(const std::vector<Token>& toks, const FunctionDef& fn,
+                   const std::set<std::string>& tainted,
+                   const TaintContext& ctx) {
+  for (std::size_t i = fn.body_begin; i < fn.body_end && i < toks.size();
+       ++i) {
+    if (toks[i].kind != Tok::identifier || toks[i].text != "return") continue;
+    const std::size_t stop = statement_end(toks, i + 1, fn.body_end);
+    if (find_atom(toks, i + 1, stop, tainted, ctx).found) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TaintContext build_taint_context(const std::vector<SourceFile>& files,
+                                 const ProjectIndex& project,
+                                 const SymbolTable& symbols) {
+  TaintContext ctx;
+  // Project-wide fixpoint: a function joins the tainted-returning set when
+  // any of its return statements contains an atom under the *current* set,
+  // so taint flows through arbitrarily long call chains (decoder -> helper
+  // -> caller). Membership only grows, so 8 rounds bound any real chain.
+  for (int pass = 0; pass < 8; ++pass) {
+    bool changed = false;
+    for (const FunctionSymbol& sym : symbols.symbols) {
+      if (sym.name.empty() || presence_semantics_name(sym.name)) continue;
+      if (ctx.tainted_returning.count(sym.name) != 0) continue;
+      const FunctionDef& fn = project.files[sym.file].functions[sym.fn];
+      if (fn.body_end <= fn.body_begin) continue;
+      const auto& toks = files[sym.file].tokens;
+      const std::set<std::string> tainted =
+          function_tainted_vars(toks, fn, ctx);
+      if (returns_taint(toks, fn, tainted, ctx)) {
+        ctx.tainted_returning.insert(sym.name);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return ctx;
+}
+
+void run_taint_rules_on_file(const SourceFile& file, const FileIndex& index,
+                             const TaintContext& ctx,
+                             std::vector<Finding>& out) {
+  if (!in_checked_dirs(file.path)) return;
+  const auto& toks = file.tokens;
+  // Lambda bodies are separate FunctionDefs nested inside their enclosing
+  // function's extent, so a sink inside one is scanned twice; dedup by
+  // (rule, line).
+  std::set<std::pair<std::string, int>> seen;
+  auto add = [&](const char* rule, int line, std::string message) {
+    if (!seen.insert({rule, line}).second) return;
+    out.push_back(Finding{rule, file.path, line, std::move(message), "taint"});
+  };
+
+  for (const FunctionDef& fn : index.functions) {
+    if (fn.body_end <= fn.body_begin) continue;
+    const std::set<std::string> tainted =
+        function_tainted_vars(toks, fn, ctx);
+    for (std::size_t i = fn.body_begin;
+         i < fn.body_end && i < toks.size(); ++i) {
+      if (toks[i].kind != Tok::identifier) continue;
+      const std::string& id = toks[i].text;
+      // O001: branch conditions.
+      if (id == "if" || id == "switch") {
+        std::size_t j = i + 1;
+        if (j < toks.size() && toks[j].text == "constexpr") ++j;
+        if (j >= toks.size() || toks[j].text != "(") continue;
+        const std::size_t close = match_forward_tok(toks, j, '(', ')');
+        if (close == kNone) continue;
+        const Atom atom = find_atom(toks, j + 1, close, tainted, ctx);
+        if (atom.found) {
+          add("O001", toks[i].line,
+              "payload content flows into a '" + id + "' condition (" +
+                  atom.what +
+                  "): content-oblivious code may branch on pulse presence "
+                  "and ports only (paper §2) — decode belongs in src/net");
+        }
+        continue;
+      }
+      // O002: loop bounds.
+      if (id == "while" || id == "for") {
+        if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+        const std::size_t close = match_forward_tok(toks, i + 1, '(', ')');
+        if (close == kNone) continue;
+        std::size_t cond_begin = i + 2, cond_end = close;
+        if (id == "for") {
+          // Classic for: the condition sits between the first and second
+          // top-level ';'. A range-for has no ';'; scan the whole interior.
+          const std::size_t semi1 = statement_end(toks, i + 2, close);
+          if (semi1 < close) {
+            cond_begin = semi1 + 1;
+            cond_end = statement_end(toks, semi1 + 1, close);
+          }
+        }
+        const Atom atom = find_atom(toks, cond_begin, cond_end, tainted, ctx);
+        if (atom.found) {
+          add("O002", toks[i].line,
+              "payload content flows into a loop bound (" + atom.what +
+                  "): iteration counts in content-oblivious code may depend "
+                  "on pulse counts only (paper §2)");
+        }
+        continue;
+      }
+      // O003: send counts / arguments.
+      if ((id == "send" || id == "send_pulse" || id == "send_all" ||
+           id == "send_ctl") &&
+          i + 1 < toks.size() && toks[i + 1].text == "(") {
+        const std::size_t close = match_forward_tok(toks, i + 1, '(', ')');
+        if (close == kNone) continue;
+        const Atom atom = find_atom(toks, i + 2, close, tainted, ctx);
+        if (atom.found) {
+          add("O003", toks[i].line,
+              "payload content flows into '" + id + "()' (" + atom.what +
+                  "): what and how much a node sends must depend on pulse "
+                  "counts only, never on message content (paper §2)");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace colex::lint

@@ -1,0 +1,54 @@
+// Interprocedural obliviousness taint pass (rules O001–O003).
+//
+// The paper's defining invariant is that a node acts on pulse *presence*
+// only — message content must never influence control flow (§2). M001
+// catches the read itself inside automaton classes; this pass upgrades it to
+// a transitive proof sketch: any value derived from payload content (a
+// recv() content read, a wire decoder such as get_u32/decode_result, or a
+// call to a function whose return value is so derived) is *tainted*, and a
+// tainted value flowing into
+//
+//   O001  a branch condition (`if`/`switch`),
+//   O002  a loop bound (`for` condition / `while`), or
+//   O003  a send-family call argument (a content-dependent send count)
+//
+// is reported — but only in the content-oblivious runtime dirs (src/co,
+// src/colib, src/runtime, src/coro). The sanctioned decode modules
+// (src/net, src/obs) exist precisely to turn wire bytes into control
+// decisions for the *fabric* (framing, quiescence), so they are exempt.
+//
+// Precision notes: taint propagates through `x = expr` assignments within a
+// function (to a fixpoint) and through return values across functions (the
+// tainted-returning set, a project-wide fixpoint over the symbol table);
+// parameter taint is not tracked — flows through a parameter need a
+// justified allow or a refactor, which for this tree has so far always been
+// the better outcome.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "lint/symbols.hpp"
+
+namespace colex::lint {
+
+/// Global taint facts, built once (single-threaded) before the per-file
+/// sink scans fan out.
+struct TaintContext {
+  /// Names of functions whose return value derives from payload content.
+  std::set<std::string> tainted_returning;
+};
+
+TaintContext build_taint_context(const std::vector<SourceFile>& files,
+                                 const ProjectIndex& project,
+                                 const SymbolTable& symbols);
+
+/// Scans one file's functions for O001–O003 sinks. Only fires in the
+/// checked dirs; safe to run from the parallel per-file stage.
+void run_taint_rules_on_file(const SourceFile& file, const FileIndex& index,
+                             const TaintContext& ctx,
+                             std::vector<Finding>& out);
+
+}  // namespace colex::lint
